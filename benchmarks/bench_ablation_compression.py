@@ -1,0 +1,18 @@
+"""Ablation bench: lossy wire compression of remote PS traffic."""
+
+from repro.experiments.ablations import run_ablation_compression
+
+
+def test_ablation_compression(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_ablation_compression(scale=0.05, epochs=2),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    by_codec = {row[0]: row for row in result.rows}
+    # Remote bytes halve under fp16 and quarter under int8.
+    assert by_codec["fp16"][1] < 0.6 * by_codec["none"][1]
+    assert by_codec["int8"][1] < 0.35 * by_codec["none"][1]
+    # Training still works under compression.
+    assert all(0.0 <= row[4] <= 1.0 for row in result.rows)

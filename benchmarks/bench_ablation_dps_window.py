@@ -1,0 +1,11 @@
+"""Ablation bench: DPS prefetch window D."""
+
+from repro.experiments.ablations import run_ablation_dps_window
+
+
+def test_ablation_dps_window(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_ablation_dps_window(scale=0.05, epochs=2), rounds=1, iterations=1
+    )
+    record_result(result)
+    assert all(0.0 <= row[1] <= 1.0 for row in result.rows)

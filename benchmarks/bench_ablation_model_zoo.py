@@ -1,0 +1,18 @@
+"""Ablation bench: the full model registry through the cached stack."""
+
+import numpy as np
+
+from repro.experiments.ablations import run_model_zoo
+from repro.models.base import MODEL_REGISTRY
+
+
+def test_ablation_model_zoo(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_model_zoo(scale=0.03, epochs=3), rounds=1, iterations=1
+    )
+    record_result(result)
+    assert len(result.rows) == len(MODEL_REGISTRY)
+    for model, mrr, h10, hit, time_s in result.rows:
+        assert np.isfinite(mrr) and 0.0 <= mrr <= 1.0
+        assert hit > 0.0  # the cache engages for every geometry
+        assert time_s > 0.0

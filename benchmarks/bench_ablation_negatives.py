@@ -1,0 +1,12 @@
+"""Ablation bench: chunked vs independent negative sampling."""
+
+from repro.experiments.ablations import run_ablation_negatives
+
+
+def test_ablation_negatives(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_ablation_negatives(scale=0.05), rounds=1, iterations=1
+    )
+    record_result(result)
+    uniques = {row[0]: row[1] for row in result.rows}
+    assert uniques["chunked"] < uniques["independent"]

@@ -1,0 +1,14 @@
+"""Ablation bench: METIS vs random partitioning."""
+
+from repro.experiments.ablations import run_ablation_partition
+
+
+def test_ablation_partition(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_ablation_partition(scale=0.05, epochs=2), rounds=1, iterations=1
+    )
+    record_result(result)
+    for dataset in {row[0] for row in result.rows}:
+        rows = {r[1]: r for r in result.rows if r[0] == dataset}
+        assert rows["metis"][2] < rows["random"][2]  # cut fraction
+        assert rows["metis"][4] <= rows["random"][4] * 1.05  # comm time

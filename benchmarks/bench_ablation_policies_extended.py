@@ -1,0 +1,19 @@
+"""Ablation bench: adaptive reactive policies vs the prefetch cache."""
+
+from repro.experiments.cache_study import run_policies_extended
+
+
+def test_ablation_policies_extended(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_policies_extended(scale=0.05), rounds=1, iterations=1
+    )
+    record_result(result)
+    for dataset, clock, twoq, arc, hetkg, belady in result.rows:
+        # Foresight beats every reactive policy...
+        assert hetkg > clock
+        assert hetkg > twoq
+        assert hetkg > arc
+        # ...and Belady bounds the reactive ones (prefetching may exceed
+        # it by avoiding cold misses, so HET-KG is not constrained).
+        assert belady >= arc - 1e-9
+        assert belady >= clock - 1e-9

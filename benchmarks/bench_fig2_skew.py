@@ -1,0 +1,15 @@
+"""Bench for Fig. 2: skew of embedding access frequencies."""
+
+from repro.experiments.microbench import run_fig2
+
+
+def test_fig2_access_skew(benchmark, record_result):
+    result = benchmark.pedantic(lambda: run_fig2(scale=0.1), rounds=1, iterations=1)
+    record_result(result)
+    for dataset, ent_share, rel_share, ent_gini, rel_gini in result.rows:
+        # The paper's motivating observation: relation accesses are far
+        # more concentrated than entity accesses.
+        assert rel_share > ent_share
+        # And the top 1% of relations covers a large share (paper: ~36%
+        # on FB15k).
+        assert rel_share > 0.1

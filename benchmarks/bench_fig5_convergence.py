@@ -1,0 +1,16 @@
+"""Bench for Fig. 5: MRR-vs-time convergence curves."""
+
+from repro.experiments.efficiency import run_fig5
+
+
+def test_fig5_convergence(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig5(scale=0.05, epochs=6), rounds=1, iterations=1
+    )
+    record_result(result)
+    rows = {r[0]: r for r in result.rows}
+    # Shape: HET-KG reaches its near-final accuracy earlier than PBG.
+    assert rows["HET-KG-D"][3] < rows["PBG"][3]
+    # All systems converge to similar final MRR.
+    finals = [r[2] for r in result.rows]
+    assert max(finals) < 3 * min(finals) + 0.05

@@ -1,0 +1,21 @@
+"""Bench for Fig. 6: speedup vs number of workers."""
+
+from repro.experiments.efficiency import run_fig6
+
+
+def test_fig6_scalability(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig6(scale=0.05, epochs=1, worker_counts=(1, 2, 4, 8)),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    speedups = {row[0]: row[1:] for row in result.rows}
+    # Shape: every system speeds up with more workers...
+    for system, s in speedups.items():
+        assert s[-1] > s[0]
+    # ...and HET-KG's average speedup beats PBG's (paper: PBG flattest,
+    # HET-KG ~30% above DGL-KE).
+    avg = {k: sum(v) / len(v) for k, v in speedups.items()}
+    assert avg["HET-KG-D"] > avg["PBG"]
+    assert avg["HET-KG-D"] >= avg["DGL-KE"] * 0.95

@@ -1,0 +1,20 @@
+"""Bench for Fig. 7: computation vs communication breakdown."""
+
+from repro.experiments.efficiency import run_fig7
+
+
+def test_fig7_breakdown(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig7(scale=0.05, epochs=2), rounds=1, iterations=1
+    )
+    record_result(result)
+    for dataset in {row[0] for row in result.rows}:
+        rows = {r[1]: r for r in result.rows if r[0] == dataset}
+        # Compute time nearly identical for DGL-KE vs HET-KG (the cache
+        # does not slow the math down).
+        ratio = rows["HET-KG-C"][2] / rows["DGL-KE"][2]
+        assert 0.9 < ratio < 1.15
+        # HET-KG communicates less than DGL-KE.
+        assert rows["HET-KG-C"][3] < rows["DGL-KE"][3]
+        # PBG's communication is the largest.
+        assert rows["PBG"][3] > rows["HET-KG-D"][3]

@@ -1,0 +1,19 @@
+"""Bench for Fig. 8(a): cache size vs hit ratio and MRR."""
+
+from repro.experiments.cache_study import run_fig8a
+
+
+def test_fig8a_cache_size(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig8a(scale=0.05, epochs=2, capacities=(64, 256, 1024, 4096)),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    hits = [row[1] for row in result.rows]
+    # Shape: hit ratio rises with cache size (then saturates).
+    assert hits == sorted(hits)
+    assert hits[-1] > hits[0]
+    # MRR essentially unaffected by cache size.
+    mrrs = [row[2] for row in result.rows]
+    assert max(mrrs) - min(mrrs) < 0.15

@@ -1,0 +1,18 @@
+"""Bench for Fig. 8(b): staleness bound P vs time and MRR."""
+
+from repro.experiments.cache_study import run_fig8b
+
+
+def test_fig8b_staleness(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig8b(scale=0.05, epochs=3, staleness=(1, 2, 8, 32, 128), seeds=1),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    times = [row[2] for row in result.rows]
+    # Shape: training time falls monotonically as synchronization relaxes.
+    assert times == sorted(times, reverse=True)
+    # MRR stays finite and in a sane band across the sweep.
+    mrrs = [row[1] for row in result.rows]
+    assert all(0.0 <= m <= 1.0 for m in mrrs)

@@ -1,0 +1,15 @@
+"""Bench for Fig. 8(c): entity share of the cache vs hit ratio."""
+
+from repro.experiments.cache_study import run_fig8c
+
+
+def test_fig8c_entity_ratio(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig8c(scale=0.1, epochs=2), rounds=1, iterations=1
+    )
+    record_result(result)
+    hits = {row[0]: row[1] for row in result.rows}
+    # Shape: interior ratio beats both extremes (paper: peak near 25%).
+    best_interior = max(v for k, v in hits.items() if 0.0 < k < 1.0)
+    assert best_interior >= hits[0.0]
+    assert best_interior > hits[1.0]

@@ -1,0 +1,15 @@
+"""Bench for Fig. 9: epoch-MRR curves under staleness 1 vs 128."""
+
+from repro.experiments.cache_study import run_fig9
+
+
+def test_fig9_staleness_curves(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig9(scale=0.05, epochs=6, seeds=2), rounds=1, iterations=1
+    )
+    record_result(result)
+    finals = {row[0]: row[1] for row in result.rows}
+    # Shape: tight consistency converges at least as well as very loose
+    # consistency (paper: 0.67 vs 0.59); at bench scale we allow noise.
+    assert finals[1] >= finals[128] - 0.02
+    assert len(result.series) == 2

@@ -1,0 +1,15 @@
+"""Bench for Table I: DGL-KE's communication share of training time."""
+
+from repro.experiments.microbench import run_table1
+
+
+def test_table1_comm_share(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_table1(scale=0.05, epochs=2), rounds=1, iterations=1
+    )
+    record_result(result)
+    # Shape: with 1 Gbps networking, communication dominates (paper: >70%
+    # on Freebase-86m).
+    fractions = {row[0]: row[3] for row in result.rows}
+    assert fractions["freebase86m-mini"] > 0.5
+    assert all(0.0 < f < 1.0 for f in fractions.values())

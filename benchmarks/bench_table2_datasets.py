@@ -1,0 +1,15 @@
+"""Bench for Table II: dataset statistics (full-scale generation)."""
+
+from repro.experiments.microbench import run_table2
+from repro.kg.datasets import FB15K_SPEC, FREEBASE86M_SPEC, WN18_SPEC
+
+
+def test_table2_dataset_stats(benchmark, record_result):
+    result = benchmark.pedantic(lambda: run_table2(scale=1.0), rounds=1, iterations=1)
+    record_result(result)
+    stats = {row[0]: row[1:] for row in result.rows}
+    for spec in (FB15K_SPEC, WN18_SPEC, FREEBASE86M_SPEC):
+        vertices, relations, edges = stats[spec.name]
+        assert vertices == spec.num_entities
+        assert relations == spec.num_relations
+        assert edges == spec.num_triples

@@ -1,0 +1,20 @@
+"""Bench for Table III: link prediction on FB15k (TransE + DistMult)."""
+
+from repro.experiments.accuracy import run_table3
+
+
+def test_table3_fb15k(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_table3(scale=0.05, epochs=4), rounds=1, iterations=1
+    )
+    record_result(result)
+    by_system = {}
+    for system, model, mrr, h1, h10, time_s in result.rows:
+        by_system.setdefault(model, {})[system] = (mrr, time_s)
+    for model, rows in by_system.items():
+        # Shape: HET-KG variants are not slower than DGL-KE; PBG slowest.
+        assert rows["HET-KG-C"][1] <= rows["DGL-KE"][1] * 1.05
+        assert rows["PBG"][1] > rows["HET-KG-D"][1]
+        # Accuracy comparable across systems (within a wide band).
+        mrrs = [v[0] for v in rows.values()]
+        assert max(mrrs) < 3 * min(mrrs) + 0.05

@@ -1,0 +1,14 @@
+"""Bench for Table IV: link prediction on WN18 (TransE + DistMult)."""
+
+from repro.experiments.accuracy import run_table4
+
+
+def test_table4_wn18(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_table4(scale=0.05, epochs=4), rounds=1, iterations=1
+    )
+    record_result(result)
+    for model in ("transe", "distmult"):
+        rows = {r[0]: r for r in result.rows if r[1] == model}
+        assert rows["HET-KG-C"][5] <= rows["DGL-KE"][5] * 1.05
+        assert rows["PBG"][5] > rows["HET-KG-C"][5]

@@ -1,0 +1,14 @@
+"""Bench for Table VI: hit ratio of HET-KG's cache vs simple policies."""
+
+from repro.experiments.cache_study import run_table6
+
+
+def test_table6_policies(benchmark, record_result):
+    result = benchmark.pedantic(lambda: run_table6(scale=0.05), rounds=1, iterations=1)
+    record_result(result)
+    for dataset, fifo, lru, lfu, importance, hetkg in result.rows:
+        # The paper's ordering on every dataset.
+        assert hetkg > importance - 0.02
+        assert importance > lru
+        assert lru >= fifo
+        assert hetkg > fifo

@@ -1,0 +1,16 @@
+"""Bench for Table VII: heterogeneity-aware filtering on/off."""
+
+from repro.experiments.cache_study import run_table7
+
+
+def test_table7_heterogeneity(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_table7(scale=0.05, epochs=4), rounds=1, iterations=1
+    )
+    record_result(result)
+    for dataset in {row[0] for row in result.rows}:
+        rows = {r[1]: r for r in result.rows if r[0] == dataset}
+        het, hetn = rows["HET-KG"], rows["HET-KG-N"]
+        # Both variants produce sane accuracy and positive hit ratios.
+        assert 0.0 <= het[2] <= 1.0 and 0.0 <= hetn[2] <= 1.0
+        assert het[5] > 0.0 and hetn[5] > 0.0

@@ -1,0 +1,31 @@
+"""Benchmark harness plumbing.
+
+Every bench regenerates one paper table/figure via its experiment runner,
+prints the rows (visible with ``pytest -s`` / in the benchmark name), and
+writes them to ``benchmarks/results/<experiment>.txt`` so a full
+``pytest benchmarks/ --benchmark-only`` run leaves the regenerated paper
+results on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Save an ExperimentResult to benchmarks/results/ and echo it."""
+
+    def _record(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = result.to_text()
+        (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        return result
+
+    return _record

@@ -1,0 +1,76 @@
+"""Scalability study: how each system scales with cluster size.
+
+Reproduces the paper's Fig. 6 scenario on a synthetic Freebase-86m slice:
+train PBG, DGL-KE, and HET-KG-D with 1, 2, 4, and 8 simulated machines and
+report the speedup over the single-machine run, plus where the time goes.
+
+The paper's findings this demonstrates:
+* PBG scales worst — its dense relation traffic grows with batch
+  throughput, not with locality;
+* HET-KG's speedup stays ~30% above DGL-KE's because the hot-embedding
+  cache removes most of the *extra* cross-machine pulls that appear as the
+  entity table spreads over more machines.
+
+Run:  python examples/scalability_study.py
+"""
+
+from repro import TrainingConfig, generate_dataset, make_trainer, split_triples
+from repro.utils.tables import format_table
+
+WORKER_COUNTS = (1, 2, 4, 8)
+SYSTEMS = ("pbg", "dglke", "hetkg-d")
+
+
+def main() -> None:
+    graph = generate_dataset("freebase86m-mini", scale=0.1, seed=0)
+    split = split_triples(graph, seed=0)
+    print(f"dataset: {graph}\n")
+
+    rows = []
+    for system in SYSTEMS:
+        times = {}
+        comm = {}
+        for k in WORKER_COUNTS:
+            config = TrainingConfig(
+                model="transe",
+                dim=16,
+                epochs=2,
+                batch_size=128,
+                num_negatives=16,
+                num_machines=k,
+                cache_strategy="dps",
+                cache_capacity=1024,
+                dps_window=32,
+                sync_period=16,
+                # The paper's scalability regime is CPU-bound TransE at
+                # d = 400: per-batch compute is substantial.  With compute
+                # nearly free, no ingress-limited PS system scales and the
+                # sweep degenerates (see docs/simulation.md).
+                compute_throughput=4e8,
+                seed=0,
+            )
+            trainer = make_trainer(system, config)
+            result = trainer.train(split.train)
+            times[k] = result.sim_time
+            comm[k] = result.communication_fraction
+        base = times[WORKER_COUNTS[0]]
+        rows.append(
+            [trainer.system_name]
+            + [base / times[k] for k in WORKER_COUNTS]
+            + [comm[WORKER_COUNTS[-1]]]
+        )
+
+    headers = (
+        ["system"]
+        + [f"speedup @{k}w" for k in WORKER_COUNTS]
+        + [f"comm frac @{WORKER_COUNTS[-1]}w"]
+    )
+    print(format_table(headers, rows, title="Scalability (Fig. 6 scenario)"))
+    print(
+        "\nExpected shape: PBG flattest; HET-KG-D's speedups track ~30% "
+        "above DGL-KE's as workers increase."
+    )
+
+
+if __name__ == "__main__":
+    main()

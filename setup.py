@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so `pip install -e .`
+works in offline environments without the `wheel` package (pip falls back
+to `setup.py develop` when no [build-system] table is declared).
+"""
+
+from setuptools import setup
+
+setup()

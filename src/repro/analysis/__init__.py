@@ -1,0 +1,15 @@
+"""Analytical tooling: the paper's §IV-C convergence-rate bound."""
+
+from repro.analysis.convergence_theory import (
+    StalenessBound,
+    convergence_rate_bound,
+    minimum_iterations,
+    staleness_from_config,
+)
+
+__all__ = [
+    "StalenessBound",
+    "convergence_rate_bound",
+    "minimum_iterations",
+    "staleness_from_config",
+]

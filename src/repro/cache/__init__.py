@@ -1,0 +1,54 @@
+"""Hotness-aware embedding caches — the paper's core contribution.
+
+* :mod:`repro.cache.table` — the fixed-capacity cache embedding table.
+* :mod:`repro.cache.prefetch` — Algorithm 1 (prefetch D iterations of samples).
+* :mod:`repro.cache.filtering` — Algorithm 2 (top-k frequency filtering with
+  an entity/relation ratio).
+* :mod:`repro.cache.strategies` — CPS and DPS hot-table construction.
+* :mod:`repro.cache.sync` — bounded-staleness synchronization (Algorithms 3/4,
+  worker side).
+* :mod:`repro.cache.policies` — FIFO/LRU/LFU/importance baselines (Table VI).
+"""
+
+from repro.cache.table import CacheTable, CacheStats
+from repro.cache.prefetch import prefetch, PrefetchResult
+from repro.cache.filtering import filter_hot_ids, HotSet
+from repro.cache.strategies import (
+    HotEmbeddingStrategy,
+    ConstantPartialStale,
+    DynamicPartialStale,
+)
+from repro.cache.sync import HotEmbeddingCache
+from repro.cache.policies import (
+    EvictionPolicy,
+    FIFOCache,
+    LRUCache,
+    LFUCache,
+    ClockCache,
+    TwoQueueCache,
+    ARCCache,
+    ImportanceCache,
+    replay_trace,
+)
+
+__all__ = [
+    "CacheTable",
+    "CacheStats",
+    "prefetch",
+    "PrefetchResult",
+    "filter_hot_ids",
+    "HotSet",
+    "HotEmbeddingStrategy",
+    "ConstantPartialStale",
+    "DynamicPartialStale",
+    "HotEmbeddingCache",
+    "EvictionPolicy",
+    "FIFOCache",
+    "LRUCache",
+    "LFUCache",
+    "ClockCache",
+    "TwoQueueCache",
+    "ARCCache",
+    "ImportanceCache",
+    "replay_trace",
+]

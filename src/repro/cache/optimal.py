@@ -1,0 +1,72 @@
+"""Belady's MIN: the clairvoyant-optimal replacement policy.
+
+Given the *whole* future access sequence, evicting the key whose next use
+is farthest away minimises misses among all replacement policies.  It is
+not implementable online, but it is the natural upper bound to show next
+to Table VI: HET-KG's prefetch window is a bounded-lookahead approximation
+of exactly this oracle, so ``FIFO < LRU < ... < HET-KG <= Belady`` is the
+expected ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+#: Sentinel "next use" for keys never used again.
+_NEVER = float("inf")
+
+
+def belady_hit_ratio(trace: Sequence[int], capacity: int) -> float:
+    """Hit ratio of Belady's optimal policy on ``trace``.
+
+    Implemented with a precomputed next-use index and a lazy max-heap of
+    (next_use, key) candidates, giving O(n log n) replay.
+    """
+    check_positive("capacity", capacity)
+    trace = [int(k) for k in trace]
+    n = len(trace)
+    if n == 0:
+        return 0.0
+
+    # next_use[i] = index of the next occurrence of trace[i] after i.
+    next_use = [0] * n
+    last_seen: dict[int, float] = defaultdict(lambda: _NEVER)
+    for i in range(n - 1, -1, -1):
+        next_use[i] = last_seen[trace[i]]
+        last_seen[trace[i]] = i
+
+    cached: dict[int, float] = {}  # key -> its current next-use time
+    heap: list[tuple[float, int]] = []  # lazy max-heap via negation
+    hits = 0
+    for i, key in enumerate(trace):
+        upcoming = next_use[i]
+        if key in cached:
+            hits += 1
+            cached[key] = upcoming
+            heapq.heappush(heap, (-upcoming, key))
+            continue
+        if len(cached) >= capacity:
+            # Evict the cached key with the farthest next use; skip stale
+            # heap entries (keys already evicted or with updated times).
+            while heap:
+                neg_time, victim = heapq.heappop(heap)
+                if cached.get(victim) == -neg_time:
+                    del cached[victim]
+                    break
+            else:
+                # Heap exhausted by staleness: fall back to direct scan.
+                victim = max(cached, key=lambda k: cached[k])
+                del cached[victim]
+        if upcoming != _NEVER:
+            cached[key] = upcoming
+            heapq.heappush(heap, (-upcoming, key))
+        else:
+            # Never used again: caching it can only waste the slot.
+            pass
+    return hits / n

@@ -1,0 +1,331 @@
+"""Classic eviction policies, for the paper's Table VI comparison.
+
+HET-KG's prefetch/filter cache is compared against FIFO, LRU, and an
+"importance cache" (a static cache of the structurally most important ids —
+highest degree — never evicted).  LFU is included as well since the paper
+discusses it when contrasting with the HET system.
+
+These are *trace-driven* caches: feed them the sequence of embedding
+accesses a training run produces and read off the hit ratio.  The HET-KG
+entry of Table VI comes from running the real
+:class:`~repro.cache.sync.HotEmbeddingCache` inside a trainer; for pure
+trace replay, :func:`replay_trace` with a
+:class:`~repro.cache.strategies.DynamicPartialStale`-style oracle window is
+provided by :func:`hotness_window_hit_ratio`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter, OrderedDict
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+class EvictionPolicy(ABC):
+    """A fixed-capacity cache over opaque integer keys.
+
+    ``access(key)`` returns ``True`` on a hit; on a miss the policy decides
+    whether/what to admit and evict.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        check_positive("capacity", capacity)
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def access(self, key: int) -> bool:
+        """Record one access; returns True on hit."""
+        hit = self._access(key)
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return hit
+
+    @abstractmethod
+    def _access(self, key: int) -> bool: ...
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+
+class FIFOCache(EvictionPolicy):
+    """Evict the oldest-admitted key."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._queue: OrderedDict[int, None] = OrderedDict()
+
+    def _access(self, key: int) -> bool:
+        if key in self._queue:
+            return True
+        if len(self._queue) >= self.capacity:
+            self._queue.popitem(last=False)
+        self._queue[key] = None
+        return False
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class LRUCache(EvictionPolicy):
+    """Evict the least recently used key."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._order: OrderedDict[int, None] = OrderedDict()
+
+    def _access(self, key: int) -> bool:
+        if key in self._order:
+            self._order.move_to_end(key)
+            return True
+        if len(self._order) >= self.capacity:
+            self._order.popitem(last=False)
+        self._order[key] = None
+        return False
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class LFUCache(EvictionPolicy):
+    """Evict the least frequently used key (ties: least recent)."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._counts: Counter[int] = Counter()
+        self._members: OrderedDict[int, None] = OrderedDict()
+
+    def _access(self, key: int) -> bool:
+        self._counts[key] += 1
+        if key in self._members:
+            self._members.move_to_end(key)
+            return True
+        if len(self._members) >= self.capacity:
+            victim = min(self._members, key=lambda k: (self._counts[k], 0))
+            del self._members[victim]
+        self._members[key] = None
+        return False
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+
+class ImportanceCache(EvictionPolicy):
+    """Static cache of the top-``capacity`` most important keys.
+
+    "Importance" is supplied up front (the comparison uses entity degree /
+    relation frequency, i.e. structural importance known before training).
+    Keys outside the important set are never admitted.
+    """
+
+    def __init__(self, capacity: int, importance: dict[int, float]) -> None:
+        super().__init__(capacity)
+        ranked = sorted(importance.items(), key=lambda kv: (-kv[1], kv[0]))
+        self._members = {k for k, _ in ranked[:capacity]}
+
+    def _access(self, key: int) -> bool:
+        return key in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+
+class ClockCache(EvictionPolicy):
+    """CLOCK (second-chance FIFO): a one-bit approximation of LRU.
+
+    Keys sit on a circular buffer with a reference bit; the hand skips
+    (and clears) referenced keys and evicts the first unreferenced one.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._keys: list[int] = []
+        self._referenced: dict[int, bool] = {}
+        self._hand = 0
+
+    def _access(self, key: int) -> bool:
+        if key in self._referenced:
+            self._referenced[key] = True
+            return True
+        if len(self._keys) < self.capacity:
+            self._keys.append(key)
+        else:
+            # Advance the hand past referenced keys, clearing their bit.
+            while self._referenced[self._keys[self._hand]]:
+                self._referenced[self._keys[self._hand]] = False
+                self._hand = (self._hand + 1) % self.capacity
+            victim = self._keys[self._hand]
+            del self._referenced[victim]
+            self._keys[self._hand] = key
+            self._hand = (self._hand + 1) % self.capacity
+        self._referenced[key] = False
+        return False
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+class TwoQueueCache(EvictionPolicy):
+    """2Q: a probationary FIFO in front of a protected LRU.
+
+    First-time keys enter the probationary queue; a hit there promotes to
+    the protected LRU segment.  One-hit wonders therefore never displace
+    genuinely reused keys — useful against KGE's long random-negative tail.
+    """
+
+    def __init__(self, capacity: int, probation_fraction: float = 0.25) -> None:
+        super().__init__(capacity)
+        if not 0.0 < probation_fraction < 1.0:
+            raise ValueError(
+                f"probation_fraction must be in (0, 1), got {probation_fraction}"
+            )
+        self._probation_cap = max(1, int(capacity * probation_fraction))
+        self._protected_cap = max(1, capacity - self._probation_cap)
+        self._probation: OrderedDict[int, None] = OrderedDict()
+        self._protected: OrderedDict[int, None] = OrderedDict()
+
+    def _access(self, key: int) -> bool:
+        if key in self._protected:
+            self._protected.move_to_end(key)
+            return True
+        if key in self._probation:
+            del self._probation[key]
+            if len(self._protected) >= self._protected_cap:
+                self._protected.popitem(last=False)
+            self._protected[key] = None
+            return True
+        if len(self._probation) >= self._probation_cap:
+            self._probation.popitem(last=False)
+        self._probation[key] = None
+        return False
+
+    def __len__(self) -> int:
+        return len(self._probation) + len(self._protected)
+
+
+class ARCCache(EvictionPolicy):
+    """ARC [Megiddo & Modha, FAST 2003]: self-tuning recency/frequency mix.
+
+    Maintains recency (T1) and frequency (T2) segments plus their ghost
+    lists (B1/B2); ghost hits adapt the target size ``p`` of T1.  Included
+    as the strongest classical adaptive policy to stress the claim that
+    HET-KG's prefetch-based cache beats *reactive* policies generally.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._t1: OrderedDict[int, None] = OrderedDict()  # recent, once
+        self._t2: OrderedDict[int, None] = OrderedDict()  # frequent
+        self._b1: OrderedDict[int, None] = OrderedDict()  # ghosts of t1
+        self._b2: OrderedDict[int, None] = OrderedDict()  # ghosts of t2
+        self._p = 0.0  # adaptive target size of t1
+
+    def _replace(self, in_b2: bool) -> None:
+        if self._t1 and (
+            len(self._t1) > self._p or (in_b2 and len(self._t1) == int(self._p))
+        ):
+            victim, _ = self._t1.popitem(last=False)
+            self._b1[victim] = None
+        elif self._t2:
+            victim, _ = self._t2.popitem(last=False)
+            self._b2[victim] = None
+        elif self._t1:
+            victim, _ = self._t1.popitem(last=False)
+            self._b1[victim] = None
+
+    def _access(self, key: int) -> bool:
+        if key in self._t1:
+            del self._t1[key]
+            self._t2[key] = None
+            return True
+        if key in self._t2:
+            self._t2.move_to_end(key)
+            return True
+
+        if key in self._b1:
+            # Recency ghost hit: grow t1's target.
+            self._p = min(
+                float(self.capacity),
+                self._p + max(1.0, len(self._b2) / max(1, len(self._b1))),
+            )
+            del self._b1[key]
+            self._replace(in_b2=False)
+            self._t2[key] = None
+            return False
+        if key in self._b2:
+            # Frequency ghost hit: shrink t1's target.
+            self._p = max(
+                0.0, self._p - max(1.0, len(self._b1) / max(1, len(self._b2)))
+            )
+            del self._b2[key]
+            self._replace(in_b2=True)
+            self._t2[key] = None
+            return False
+
+        # Cold miss: case IV of the ARC paper.
+        if len(self._t1) + len(self._b1) == self.capacity:
+            if len(self._t1) < self.capacity:
+                self._b1.popitem(last=False)
+                self._replace(in_b2=False)
+            else:
+                self._t1.popitem(last=False)
+        elif len(self._t1) + len(self._b1) < self.capacity:
+            total = (
+                len(self._t1) + len(self._t2) + len(self._b1) + len(self._b2)
+            )
+            if total >= self.capacity:
+                if total == 2 * self.capacity and self._b2:
+                    self._b2.popitem(last=False)
+                self._replace(in_b2=False)
+        self._t1[key] = None
+        return False
+
+    def __len__(self) -> int:
+        return len(self._t1) + len(self._t2)
+
+
+def replay_trace(policy: EvictionPolicy, trace: Iterable[int]) -> float:
+    """Feed every access in ``trace`` through ``policy``; return hit ratio."""
+    for key in trace:
+        policy.access(int(key))
+    return policy.hit_ratio
+
+
+def hotness_window_hit_ratio(
+    batches: Sequence[np.ndarray], capacity: int, window: int
+) -> float:
+    """Hit ratio of a HET-KG-style windowed hotness cache on a pull trace.
+
+    ``batches`` is a sequence of per-iteration access arrays (typically the
+    unique ids each mini-batch pulls).  Models DPS: for each window of
+    ``window`` consecutive batches, the cache holds the top-``capacity``
+    most frequent keys *of that window* (prefetching makes the window known
+    in advance).  This is the oracle-window equivalent of the DPS strategy,
+    used for Table VI's like-for-like policy comparison.
+    """
+    check_positive("capacity", capacity)
+    check_positive("window", window)
+    hits = 0
+    total = 0
+    for start in range(0, len(batches), window):
+        chunk = [np.asarray(b, dtype=np.int64) for b in batches[start : start + window]]
+        flat = np.concatenate(chunk) if chunk else np.empty(0, dtype=np.int64)
+        total += len(flat)
+        if not len(flat):
+            continue
+        ids, counts = np.unique(flat, return_counts=True)
+        order = np.lexsort((ids, -counts))
+        cached = set(ids[order[:capacity]].tolist())
+        hits += sum(1 for key in flat.tolist() if key in cached)
+    return hits / total if total else 0.0

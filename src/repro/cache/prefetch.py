@@ -1,0 +1,84 @@
+"""Algorithm 1 — prefetch.
+
+Sample the next ``D`` iterations of mini-batches (positives + corrupted
+negatives) ahead of time, recording every entity and relation access.  The
+sample list is returned so training consumes *exactly* the prefetched
+batches; the access lists feed Algorithm 2 (filtering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kg.graph import HEAD, REL, TAIL
+from repro.sampling.minibatch import EpochSampler
+from repro.sampling.negative import MiniBatch
+
+
+@dataclass
+class PrefetchResult:
+    """Output of Algorithm 1.
+
+    Attributes
+    ----------
+    batches:
+        ``L_s`` — the prefetched mini-batches, in training order.
+    entity_counts:
+        id -> access count over the window (positives and negatives).
+    relation_counts:
+        id -> access count over the window.
+    """
+
+    batches: list[MiniBatch]
+    entity_counts: dict[int, int] = field(default_factory=dict)
+    relation_counts: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_entity_accesses(self) -> int:
+        return sum(self.entity_counts.values())
+
+    @property
+    def total_relation_accesses(self) -> int:
+        return sum(self.relation_counts.values())
+
+
+def _count_batch(
+    batch: MiniBatch,
+    entity_counts: dict[int, int],
+    relation_counts: dict[int, int],
+) -> None:
+    """Record each embedding access one batch makes (line 7-8 of Alg. 1)."""
+    touched_entities = np.concatenate(
+        [
+            batch.positives[:, HEAD],
+            batch.positives[:, TAIL],
+            batch.neg_entities.ravel(),
+        ]
+    )
+    ids, counts = np.unique(touched_entities, return_counts=True)
+    for e, c in zip(ids.tolist(), counts.tolist()):
+        entity_counts[e] = entity_counts.get(e, 0) + c
+    # Each negative reuses its positive's relation embedding.
+    rel_ids, rel_counts = np.unique(batch.positives[:, REL], return_counts=True)
+    weight = 1 + batch.num_negatives
+    for r, c in zip(rel_ids.tolist(), rel_counts.tolist()):
+        relation_counts[r] = relation_counts.get(r, 0) + c * weight
+
+
+def prefetch(sampler: EpochSampler, iterations: int) -> PrefetchResult:
+    """Run Algorithm 1: prefetch ``iterations`` batches and count accesses.
+
+    Parameters
+    ----------
+    sampler:
+        The worker's epoch sampler over its local subgraph ``G_i``.
+    iterations:
+        The prefetch window ``D`` (CPS passes a full epoch's batch count).
+    """
+    batches = sampler.prefetch(iterations)
+    result = PrefetchResult(batches=batches)
+    for batch in batches:
+        _count_batch(batch, result.entity_counts, result.relation_counts)
+    return result

@@ -1,0 +1,150 @@
+"""Hot-embedding table construction strategies: CPS and DPS (§IV-B).
+
+* **Constant partial stale (CPS)** — prefetch a whole epoch of samples up
+  front, filter the global top-k once, and keep that membership for the
+  entire run.  Cheap, but assumes each mini-batch's access distribution
+  matches the global one.
+* **Dynamic partial stale (DPS)** — prefetch only the next ``D``
+  iterations, filter the top-k *of that window*, and rebuild the table
+  every ``D`` iterations.  Tracks short-term access patterns, so the hit
+  ratio is higher, at the cost of recurring prefetch/filter work.
+
+Both strategies also hand the worker the exact batches that were
+prefetched, so training is equivalent to sampling live (Algorithm 1 returns
+the sample list ``L_s`` for this reason).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.cache.filtering import HotSet, filter_hot_ids
+from repro.cache.prefetch import PrefetchResult, prefetch
+from repro.sampling.minibatch import EpochSampler
+from repro.sampling.negative import MiniBatch
+from repro.utils.validation import check_positive
+
+
+class HotEmbeddingStrategy(ABC):
+    """Produces training batches plus hot-set (re)construction events.
+
+    Usage: call :meth:`setup` once, then :meth:`next_batch` per training
+    iteration.  ``next_batch`` returns ``(batch, hot_set)`` where
+    ``hot_set`` is ``None`` unless the table membership must change before
+    training on ``batch``.
+
+    ``consume_overhead_items()`` reports how many bookkeeping items
+    (counted accesses) the strategy processed since the last call, so the
+    worker can charge prefetch/filter time to its simulated clock — this is
+    what makes DPS slightly slower than CPS on small graphs (Table IV).
+    """
+
+    def __init__(self, capacity: int, entity_ratio: float | None = 0.25) -> None:
+        check_positive("capacity", capacity)
+        self.capacity = capacity
+        self.entity_ratio = entity_ratio
+        self._pending_overhead = 0
+
+    @abstractmethod
+    def setup(self, sampler: EpochSampler) -> HotSet:
+        """Prefetch and build the initial hot set."""
+
+    @abstractmethod
+    def next_batch(self) -> tuple[MiniBatch, HotSet | None]:
+        """The next training batch, plus a new hot set when membership
+        changes."""
+
+    def consume_overhead_items(self) -> int:
+        """Bookkeeping items processed since last call (then reset)."""
+        items = self._pending_overhead
+        self._pending_overhead = 0
+        return items
+
+    # ---------------------------------------------------------------- helpers
+
+    def _filter(self, result: PrefetchResult) -> HotSet:
+        self._pending_overhead += (
+            result.total_entity_accesses + result.total_relation_accesses
+        )
+        return filter_hot_ids(
+            result.entity_counts,
+            result.relation_counts,
+            self.capacity,
+            self.entity_ratio,
+        )
+
+
+class ConstantPartialStale(HotEmbeddingStrategy):
+    """CPS: one global top-k, fixed for the whole run.
+
+    ``horizon`` controls how many iterations are prefetched to estimate the
+    global frequencies (defaults to one full epoch, the paper's
+    "prefetches the entire subgraph").
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        entity_ratio: float | None = 0.25,
+        horizon: int | None = None,
+    ) -> None:
+        super().__init__(capacity, entity_ratio)
+        self.horizon = horizon
+        self._sampler: EpochSampler | None = None
+        self._queue: list[MiniBatch] = []
+
+    def setup(self, sampler: EpochSampler) -> HotSet:
+        self._sampler = sampler
+        horizon = self.horizon or sampler.batches_per_epoch
+        result = prefetch(sampler, horizon)
+        self._queue = list(result.batches)
+        return self._filter(result)
+
+    def next_batch(self) -> tuple[MiniBatch, HotSet | None]:
+        if self._sampler is None:
+            raise RuntimeError("setup() must be called before next_batch()")
+        if not self._queue:
+            # New epoch: fresh samples, same hot set (membership is
+            # constant), and no new filtering overhead.
+            self._queue = self._sampler.prefetch(self._sampler.batches_per_epoch)
+        return self._queue.pop(0), None
+
+
+class DynamicPartialStale(HotEmbeddingStrategy):
+    """DPS: rebuild the top-k from each upcoming ``D``-iteration window."""
+
+    def __init__(
+        self,
+        capacity: int,
+        window: int = 32,
+        entity_ratio: float | None = 0.25,
+    ) -> None:
+        super().__init__(capacity, entity_ratio)
+        check_positive("window", window)
+        self.window = window
+        self._sampler: EpochSampler | None = None
+        self._queue: list[MiniBatch] = []
+        self._next_hot: HotSet | None = None
+
+    def _refill(self) -> None:
+        assert self._sampler is not None
+        result = prefetch(self._sampler, self.window)
+        self._queue = list(result.batches)
+        self._next_hot = self._filter(result)
+
+    def setup(self, sampler: EpochSampler) -> HotSet:
+        self._sampler = sampler
+        self._refill()
+        hot = self._next_hot
+        self._next_hot = None
+        assert hot is not None
+        return hot
+
+    def next_batch(self) -> tuple[MiniBatch, HotSet | None]:
+        if self._sampler is None:
+            raise RuntimeError("setup() must be called before next_batch()")
+        if not self._queue:
+            self._refill()
+        hot = self._next_hot
+        self._next_hot = None
+        return self._queue.pop(0), hot

@@ -1,0 +1,189 @@
+"""Worker-side hot-embedding cache with bounded-staleness synchronization.
+
+Implements the worker half of Algorithms 3/4: a pair of cache tables (one
+for entities, one for relations) that
+
+* serve reads locally on hits and pull misses from the parameter server,
+* absorb the worker's own gradient updates locally (so a worker always
+  sees its own writes), while all gradients are *also* pushed to the PS,
+* refresh every cached row from the PS every ``sync_period`` (``P``)
+  iterations, which bounds how stale a cached row can be with respect to
+  other workers' updates.
+
+All PS traffic is returned as :class:`~repro.ps.network.CommRecord` so the
+worker can charge its simulated clock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.filtering import HotSet
+from repro.cache.table import CacheStats, CacheTable
+from repro.optim.adagrad import SparseAdagrad
+from repro.ps.server import ParameterServer
+from repro.utils.validation import check_positive
+
+
+class HotEmbeddingCache:
+    """Per-worker hot-embedding tables with periodic synchronization.
+
+    Parameters
+    ----------
+    server:
+        The shared parameter server.
+    machine:
+        The machine this cache lives on (for local/remote traffic split).
+    entity_capacity, relation_capacity:
+        Row budgets per table.  The CPS/DPS strategies guarantee the hot
+        set's *combined* size stays within the configured total capacity,
+        so when the entity ratio is fixed these are the split budgets, and
+        when it is disabled (HET-KG-N) both can simply be the total.
+    entity_width, relation_width:
+        Row widths (from the model geometry).
+    sync_period:
+        ``P`` — refresh all cached rows from the PS every this many
+        iterations.  ``P = 1`` means refresh before every batch (fully
+        consistent); larger values trade staleness for communication.
+    local_lr:
+        Learning rate of the local AdaGrad applied to cached rows (matches
+        the server's, so a lone worker behaves like no cache at all).
+    """
+
+    def __init__(
+        self,
+        server: ParameterServer,
+        machine: int,
+        entity_capacity: int,
+        relation_capacity: int,
+        entity_width: int,
+        relation_width: int,
+        sync_period: int,
+        local_lr: float,
+    ) -> None:
+        check_positive("sync_period", sync_period)
+        self.server = server
+        self.machine = machine
+        self.sync_period = sync_period
+        self.local_lr = local_lr
+        self._tables = {
+            "entity": CacheTable(entity_capacity, entity_width),
+            "relation": CacheTable(relation_capacity, relation_width),
+        }
+        self._local_optimizers = {
+            "entity": SparseAdagrad(local_lr),
+            "relation": SparseAdagrad(local_lr),
+        }
+        self._iterations_since_sync = 0
+
+    # -------------------------------------------------------------- install
+
+    def install(self, hot: HotSet):
+        """(Re)build both tables from a new hot set.
+
+        Only ids *entering* the table are pulled from the PS; ids retained
+        from the previous membership keep their current rows (the periodic
+        ``P``-synchronization bounds their staleness regardless).  This is
+        what makes DPS affordable: consecutive windows share most of their
+        hot set, so a rebuild moves only the churn, not the whole cache.
+
+        Returns the pull's CommRecord.
+        """
+        from repro.ps.network import CommRecord
+
+        comm = CommRecord()
+        for kind, ids in (("entity", hot.entities), ("relation", hot.relations)):
+            table = self._tables[kind]
+            ids = np.asarray(ids, dtype=np.int64)[: table.capacity]
+            rows = np.zeros((len(ids), table.width))
+            if len(ids):
+                retained = table.membership_mask(ids)
+                if retained.any():
+                    rows[retained] = table.get(ids[retained])
+                fresh_ids = ids[~retained]
+                if len(fresh_ids):
+                    pulled, c = self.server.pull(kind, fresh_ids, self.machine)
+                    comm.merge(c)
+                    rows[~retained] = pulled
+            table.install(ids, rows)
+            # Fresh membership -> fresh local optimizer state.
+            self._local_optimizers[kind] = SparseAdagrad(self.local_lr)
+        self._iterations_since_sync = 0
+        return comm
+
+    # ----------------------------------------------------------------- reads
+
+    def fetch(self, kind: str, ids: np.ndarray):
+        """Rows for ``ids`` in order: cache hits locally, misses from the PS.
+
+        Returns ``(rows, comm)``.
+        """
+        from repro.ps.network import CommRecord
+
+        table = self._tables[kind]
+        ids = np.asarray(ids, dtype=np.int64)
+        hit_mask, hit_ids, miss_ids = table.partition_hits(ids)
+        rows = np.empty((len(ids), table.width), dtype=np.float64)
+        comm = CommRecord()
+        if len(hit_ids):
+            rows[hit_mask] = table.get(hit_ids)
+        if len(miss_ids):
+            pulled, comm_pull = self.server.pull(kind, miss_ids, self.machine)
+            comm.merge(comm_pull)
+            rows[~hit_mask] = pulled
+        return rows, comm
+
+    # ---------------------------------------------------------------- writes
+
+    def apply_local_gradients(
+        self, kind: str, ids: np.ndarray, grads: np.ndarray
+    ) -> None:
+        """Apply the worker's own gradients to cached rows (non-cached ids
+        are ignored; the PS push covers them)."""
+        table = self._tables[kind]
+        ids = np.asarray(ids, dtype=np.int64)
+        mask = table.membership_mask(ids)
+        if not mask.any():
+            return
+        slots = table.slot_of(ids[mask])
+        self._local_optimizers[kind].update(
+            kind, table.rows_view(), slots, grads[mask]
+        )
+
+    # ------------------------------------------------------------------ sync
+
+    def tick(self):
+        """Advance one iteration; every ``P``-th call refreshes all cached
+        rows from the PS.  Returns the refresh CommRecord, or ``None``."""
+        self._iterations_since_sync += 1
+        if self._iterations_since_sync < self.sync_period:
+            return None
+        return self.force_sync()
+
+    def force_sync(self):
+        """Pull the latest version of every cached row from the PS now."""
+        from repro.ps.network import CommRecord
+
+        comm = CommRecord()
+        for kind, table in self._tables.items():
+            ids = table.ids
+            if len(ids):
+                rows, c = self.server.pull(kind, ids, self.machine)
+                comm.merge(c)
+                table.set(ids, rows)
+        self._iterations_since_sync = 0
+        return comm
+
+    # ------------------------------------------------------------------ stats
+
+    def stats(self, kind: str) -> CacheStats:
+        return self._tables[kind].stats
+
+    def combined_stats(self) -> CacheStats:
+        total = CacheStats()
+        for table in self._tables.values():
+            total.merge(table.stats)
+        return total
+
+    def cached_ids(self, kind: str) -> np.ndarray:
+        return self._tables[kind].ids

@@ -1,0 +1,155 @@
+"""The cache embedding table: a fixed-capacity id -> row store.
+
+One table caches one kind of embedding (entities or relations) at one
+worker.  Membership is decided externally (by the CPS/DPS strategies); the
+table provides O(1) id lookup, bulk hit/miss partitioning, in-place row
+updates, and hit-ratio accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class CacheStats:
+    """Cumulative hit/miss counters for one cache table."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class CacheTable:
+    """Fixed-capacity embedding rows keyed by id.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of rows the table may hold.
+    width:
+        Row width (the model's entity or relation dim).
+    """
+
+    def __init__(self, capacity: int, width: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        check_positive("width", width)
+        self.capacity = capacity
+        self.width = width
+        self._rows = np.zeros((capacity, width), dtype=np.float64)
+        self._slot_of: dict[int, int] = {}
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------- membership
+
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    def __contains__(self, item: int) -> bool:
+        return int(item) in self._slot_of
+
+    @property
+    def ids(self) -> np.ndarray:
+        """Currently cached ids (unordered)."""
+        return np.fromiter(self._slot_of.keys(), dtype=np.int64, count=len(self._slot_of))
+
+    def install(self, ids: np.ndarray, rows: np.ndarray) -> None:
+        """Replace the entire membership with ``ids`` -> ``rows``.
+
+        This is the hot-embedding table (re)construction step: CPS calls it
+        once before training, DPS every ``D`` iterations.  Hit/miss counters
+        are preserved across installs (they measure the whole run).
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if len(ids) > self.capacity:
+            raise ValueError(
+                f"cannot install {len(ids)} rows into capacity {self.capacity}"
+            )
+        if len(ids) != len(rows):
+            raise ValueError(f"{len(ids)} ids but {len(rows)} rows")
+        if len(np.unique(ids)) != len(ids):
+            raise ValueError("install ids must be unique")
+        self._slot_of = {int(e): i for i, e in enumerate(ids)}
+        self._rows[: len(ids)] = rows
+
+    # ------------------------------------------------------------------ reads
+
+    def membership_mask(self, ids: np.ndarray) -> np.ndarray:
+        """Boolean mask of which ``ids`` are currently cached (no stats)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        return np.fromiter(
+            (int(e) in self._slot_of for e in ids), dtype=bool, count=len(ids)
+        )
+
+    def partition_hits(
+        self, ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Split ``ids`` into (mask, cached, not-cached), updating hit stats.
+
+        Duplicate ids count once per occurrence, matching how a worker's
+        accesses are metered.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        mask = self.membership_mask(ids)
+        hits = int(mask.sum())
+        self.stats.hits += hits
+        self.stats.misses += int(len(ids) - hits)
+        return mask, ids[mask], ids[~mask]
+
+    def get(self, ids: np.ndarray) -> np.ndarray:
+        """Rows for ``ids`` (every id must be cached). Returns a copy."""
+        slots = self._slots(ids)
+        return self._rows[slots].copy()
+
+    # ----------------------------------------------------------------- writes
+
+    def set(self, ids: np.ndarray, rows: np.ndarray) -> None:
+        """Overwrite cached rows (used by the periodic synchronization)."""
+        slots = self._slots(ids)
+        self._rows[slots] = rows
+
+    def add_inplace(self, ids: np.ndarray, deltas: np.ndarray) -> None:
+        """Accumulate ``deltas`` into cached rows, coalescing duplicates."""
+        slots = self._slots(ids)
+        np.add.at(self._rows, slots, deltas)
+
+    def rows_view(self) -> np.ndarray:
+        """The live backing array (first ``len(self)`` rows are valid)."""
+        return self._rows
+
+    def slot_of(self, ids: np.ndarray) -> np.ndarray:
+        """Slot index of each cached id (public alias used by optimizers)."""
+        return self._slots(ids)
+
+    # ---------------------------------------------------------------- private
+
+    def _slots(self, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids, dtype=np.int64)
+        try:
+            return np.fromiter(
+                (self._slot_of[int(e)] for e in ids), dtype=np.int64, count=len(ids)
+            )
+        except KeyError as exc:
+            raise KeyError(f"id {exc.args[0]} is not cached") from None

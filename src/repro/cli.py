@@ -1,0 +1,248 @@
+"""Command-line interface: regenerate any paper experiment.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table3 --scale 0.05 --seed 0
+    python -m repro run all --scale 0.02
+
+``run all`` regenerates every table and figure (at the given scale) and is
+what produced EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hetkg",
+        description="HET-KG reproduction: regenerate the paper's tables and figures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiment ids")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id from 'list', or 'all'")
+    run.add_argument("--scale", type=float, default=None, help="dataset scale factor")
+    run.add_argument("--epochs", type=int, default=None, help="training epochs")
+    run.add_argument("--seed", type=int, default=None, help="master seed")
+
+    report = sub.add_parser(
+        "report", help="regenerate EXPERIMENTS.md (paper vs measured)"
+    )
+    report.add_argument(
+        "--output", default="EXPERIMENTS.md", help="markdown file to write"
+    )
+    report.add_argument(
+        "--only", nargs="*", default=None, help="subset of experiment ids"
+    )
+    report.add_argument(
+        "--append",
+        action="store_true",
+        help="append sections to an existing report (resume a partial run)",
+    )
+
+    train = sub.add_parser(
+        "train", help="train a KGE model on a built-in or TSV dataset"
+    )
+    source = train.add_mutually_exclusive_group()
+    source.add_argument(
+        "--dataset", default="fb15k", help="built-in synthetic dataset name"
+    )
+    source.add_argument("--tsv", default=None, help="path to a head\\trel\\ttail file")
+    train.add_argument("--scale", type=float, default=0.05, help="dataset scale")
+    train.add_argument(
+        "--system",
+        default="hetkg-d",
+        help="hetkg-c | hetkg-d | dglke | pbg",
+    )
+    train.add_argument("--model", default="transe", help="scoring model name")
+    train.add_argument("--dim", type=int, default=16)
+    train.add_argument("--epochs", type=int, default=5)
+    train.add_argument("--machines", type=int, default=4)
+    train.add_argument("--lr", type=float, default=0.1)
+    train.add_argument("--batch-size", type=int, default=128)
+    train.add_argument("--negatives", type=int, default=16)
+    train.add_argument("--cache-capacity", type=int, default=1024)
+    train.add_argument("--sync-period", type=int, default=8)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--eval-queries", type=int, default=200, help="test triples to rank"
+    )
+    train.add_argument(
+        "--checkpoint", default=None, help="write final embeddings here (.npz)"
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="sweep one TrainingConfig field and tabulate outcomes"
+    )
+    sweep.add_argument("param", help="TrainingConfig field, e.g. sync_period")
+    sweep.add_argument(
+        "values", nargs="+", help="values to try (ints/floats parsed automatically)"
+    )
+    sweep.add_argument("--dataset", default="fb15k")
+    sweep.add_argument("--scale", type=float, default=0.05)
+    sweep.add_argument("--system", default="hetkg-d")
+    sweep.add_argument("--epochs", type=int, default=4)
+    sweep.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _runner_kwargs(runner, args: argparse.Namespace) -> dict:
+    """Only pass overrides the runner's signature accepts."""
+    accepted = inspect.signature(runner).parameters
+    kwargs = {}
+    for name in ("scale", "epochs", "seed"):
+        value = getattr(args, name)
+        if value is not None and name in accepted:
+            kwargs[name] = value
+    return kwargs
+
+
+def _train(args: argparse.Namespace) -> int:
+    """The ``train`` subcommand: data -> trainer -> metrics (-> checkpoint)."""
+    from repro.core.checkpoint import save_checkpoint
+    from repro.core.config import TrainingConfig
+    from repro.core.trainer import make_trainer
+    from repro.kg.datasets import generate_dataset, load_tsv
+    from repro.kg.splits import split_triples
+    from repro.utils.tables import format_table
+
+    if args.tsv is not None:
+        graph = load_tsv(args.tsv)
+        source = args.tsv
+    else:
+        graph = generate_dataset(args.dataset, scale=args.scale)
+        source = f"{args.dataset} @ scale {args.scale}"
+    split = split_triples(graph, seed=args.seed)
+    print(f"dataset: {source} -> {graph}")
+
+    config = TrainingConfig(
+        model=args.model,
+        dim=args.dim,
+        epochs=args.epochs,
+        num_machines=args.machines,
+        lr=args.lr,
+        batch_size=args.batch_size,
+        num_negatives=args.negatives,
+        cache_capacity=args.cache_capacity,
+        sync_period=args.sync_period,
+        seed=args.seed,
+    )
+    trainer = make_trainer(args.system, config)
+    start = time.time()
+    result = trainer.train(
+        split.train,
+        eval_graph=split.test,
+        filter_set=graph.triple_set(),
+        eval_max_queries=args.eval_queries,
+        eval_candidates=None,
+    )
+    print(
+        format_table(
+            ["system", "MRR", "Hits@1", "Hits@10", "sim time (s)", "comm frac", "cache hits"],
+            [
+                [
+                    result.system,
+                    result.final_metrics.get("mrr", 0.0),
+                    result.final_metrics.get("hits@1", 0.0),
+                    result.final_metrics.get("hits@10", 0.0),
+                    result.sim_time,
+                    result.communication_fraction,
+                    result.cache_hit_ratio,
+                ]
+            ],
+        )
+    )
+    print(f"(wall time: {time.time() - start:.1f}s)")
+    if args.checkpoint is not None:
+        if args.system.lower() == "pbg":
+            print("checkpointing is not supported for the PBG baseline")
+            return 1
+        save_checkpoint(trainer, args.checkpoint)
+        print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def _parse_value(text: str):
+    """Best-effort scalar parsing for sweep values."""
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            continue
+    if text.lower() in ("none", "null"):
+        return None
+    return text
+
+
+def _sweep(args: argparse.Namespace) -> int:
+    """The ``sweep`` subcommand: one-dimensional config sweep."""
+    from repro.core.config import TrainingConfig
+    from repro.experiments.sweep import run_sweep
+    from repro.kg.datasets import generate_dataset
+    from repro.kg.splits import split_triples
+
+    graph = generate_dataset(args.dataset, scale=args.scale)
+    split = split_triples(graph, seed=args.seed)
+    config = TrainingConfig(
+        epochs=args.epochs, seed=args.seed, cache_strategy="dps"
+    )
+    values = [_parse_value(v) for v in args.values]
+    result = run_sweep(
+        args.system,
+        config,
+        split,
+        {args.param: values},
+        filter_set=graph.triple_set(),
+    )
+    print(f"dataset: {args.dataset} @ scale {args.scale} -> {graph}")
+    print(result.to_text())
+    best = result.best("sim_time", minimize=True)
+    print(f"fastest: {args.param}={best[args.param]} ({best['sim_time']:.3f}s)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name in list_experiments():
+            doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
+            print(f"{name:22s} {doc}")
+        return 0
+
+    if args.command == "report":
+        from repro.experiments.report import generate_report
+
+        generate_report(only=args.only, output=args.output, append=args.append)
+        print(f"wrote {args.output}")
+        return 0
+
+    if args.command == "train":
+        return _train(args)
+
+    if args.command == "sweep":
+        return _sweep(args)
+
+    names = list_experiments() if args.experiment == "all" else [args.experiment]
+    for name in names:
+        runner = get_experiment(name)
+        start = time.time()
+        result = runner(**_runner_kwargs(runner, args))
+        print(result.to_text())
+        print(f"(wall time: {time.time() - start:.1f}s)")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Checkpointing: save and restore a trainer's embedding state.
+
+Long Freebase-scale runs need restartability.  A checkpoint captures the
+global embedding tables, the server-side AdaGrad accumulators, and enough
+config metadata to refuse restoring into an incompatible trainer.  The
+format is a single ``.npz`` archive.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.core.trainer import HETKGTrainer
+from repro.optim.adagrad import SparseAdagrad
+
+#: Bump when the archive layout changes.
+FORMAT_VERSION = 1
+
+
+def save_checkpoint(trainer: HETKGTrainer, path: str | os.PathLike[str]) -> None:
+    """Write the trainer's global state to ``path`` (.npz).
+
+    The trainer must be set up (tables exist).  Worker-local cache contents
+    are deliberately *not* saved: they are derived state and are rebuilt by
+    prefetch/filter on restart, exactly as in the paper's workflow.
+    """
+    if trainer.server is None:
+        raise RuntimeError("trainer has no state yet; call setup() or train()")
+    store = trainer.server.store
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "model": trainer.config.model,
+        "dim": trainer.config.dim,
+        "num_entities": len(store.table("entity")),
+        "num_relations": len(store.table("relation")),
+    }
+    arrays = {
+        "entity_table": store.table("entity"),
+        "relation_table": store.table("relation"),
+        "meta_json": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+    }
+    optimizer = trainer.server.optimizer
+    if isinstance(optimizer, SparseAdagrad):
+        for name, acc in optimizer._accumulators.items():
+            arrays[f"adagrad_{name}"] = acc
+    np.savez(path, **arrays)
+
+
+def load_checkpoint(trainer: HETKGTrainer, path: str | os.PathLike[str]) -> None:
+    """Restore a checkpoint into a set-up trainer, in place.
+
+    Raises ``ValueError`` when the checkpoint's model geometry does not
+    match the trainer's.
+    """
+    if trainer.server is None:
+        raise RuntimeError("set up the trainer (setup()/train()) before loading")
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta_json"]).decode())
+        if meta.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"checkpoint format {meta.get('format_version')} is not "
+                f"supported (expected {FORMAT_VERSION})"
+            )
+        store = trainer.server.store
+        for field, kind in (("model", None), ("dim", None)):
+            expected = getattr(trainer.config, field)
+            if meta[field] != expected:
+                raise ValueError(
+                    f"checkpoint {field}={meta[field]!r} does not match "
+                    f"trainer {field}={expected!r}"
+                )
+        for kind, key in (("entity", "num_entities"), ("relation", "num_relations")):
+            if meta[key] != len(store.table(kind)):
+                raise ValueError(
+                    f"checkpoint has {meta[key]} {kind} rows, trainer has "
+                    f"{len(store.table(kind))}"
+                )
+        store.table("entity")[:] = data["entity_table"]
+        store.table("relation")[:] = data["relation_table"]
+        optimizer = trainer.server.optimizer
+        if isinstance(optimizer, SparseAdagrad):
+            optimizer.reset()
+            for name in ("entity", "relation"):
+                key = f"adagrad_{name}"
+                if key in data:
+                    optimizer._accumulators[name] = data[key].copy()

@@ -1,0 +1,105 @@
+"""Model-agnostic forward/backward computation for one mini-batch.
+
+Given a batch and the embedding rows for its unique ids, compute the loss
+and the coalesced gradients per unique id.  Shared by every trainer (HET-KG
+and both baselines), so the compared systems differ *only* in how they move
+embeddings around — the learning math is identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kg.graph import HEAD, REL, TAIL
+from repro.models.base import KGEModel
+from repro.models.losses import Loss
+from repro.sampling.negative import MiniBatch
+
+
+@dataclass
+class BatchGradients:
+    """Loss and per-unique-id gradients for one batch."""
+
+    loss: float
+    entity_ids: np.ndarray  # (U_e,) unique, sorted
+    entity_grads: np.ndarray  # (U_e, entity_dim)
+    relation_ids: np.ndarray  # (U_r,) unique, sorted
+    relation_grads: np.ndarray  # (U_r, relation_dim)
+    num_scores: int  # positives + negatives scored (for the compute model)
+
+
+def compute_batch_gradients(
+    model: KGEModel,
+    loss: Loss,
+    batch: MiniBatch,
+    entity_ids: np.ndarray,
+    entity_rows: np.ndarray,
+    relation_ids: np.ndarray,
+    relation_rows: np.ndarray,
+) -> BatchGradients:
+    """Forward + backward over ``batch``.
+
+    Parameters
+    ----------
+    entity_ids / relation_ids:
+        Sorted unique ids the batch touches (from
+        :meth:`MiniBatch.unique_entities` / ``unique_relations``).
+    entity_rows / relation_rows:
+        Embedding rows aligned with those ids (wherever they were fetched
+        from — cache or parameter server).
+
+    Returns the loss and gradients *coalesced per unique id*, ready to push.
+    """
+    pos = batch.positives
+    b = batch.size
+    n_neg = batch.num_negatives
+
+    h_pos = np.searchsorted(entity_ids, pos[:, HEAD])
+    t_pos = np.searchsorted(entity_ids, pos[:, TAIL])
+    r_pos = np.searchsorted(relation_ids, pos[:, REL])
+    neg_pos = np.searchsorted(entity_ids, batch.neg_entities)  # (b, n_neg)
+
+    h_rows = entity_rows[h_pos]
+    t_rows = entity_rows[t_pos]
+    r_rows = relation_rows[r_pos]
+
+    # ---- forward ---------------------------------------------------------
+    pos_scores = model.score(h_rows, r_rows, t_rows)
+
+    # Negative triples: corrupt head or tail per row of the batch.
+    corrupt_head = batch.corrupt_head  # (b,)
+    rep = np.repeat(np.arange(b), n_neg)
+    neg_flat = neg_pos.ravel()
+    neg_h_idx = np.where(np.repeat(corrupt_head, n_neg), neg_flat, h_pos[rep])
+    neg_t_idx = np.where(np.repeat(corrupt_head, n_neg), t_pos[rep], neg_flat)
+    neg_h = entity_rows[neg_h_idx]
+    neg_t = entity_rows[neg_t_idx]
+    neg_r = relation_rows[r_pos[rep]]
+    neg_scores = model.score(neg_h, neg_r, neg_t).reshape(b, n_neg)
+
+    result = loss.compute(pos_scores, neg_scores)
+
+    # ---- backward --------------------------------------------------------
+    ent_grads = np.zeros_like(entity_rows)
+    rel_grads = np.zeros_like(relation_rows)
+
+    gh, gr, gt = model.grad(h_rows, r_rows, t_rows, result.grad_pos)
+    np.add.at(ent_grads, h_pos, gh)
+    np.add.at(ent_grads, t_pos, gt)
+    np.add.at(rel_grads, r_pos, gr)
+
+    gnh, gnr, gnt = model.grad(neg_h, neg_r, neg_t, result.grad_neg.ravel())
+    np.add.at(ent_grads, neg_h_idx, gnh)
+    np.add.at(ent_grads, neg_t_idx, gnt)
+    np.add.at(rel_grads, r_pos[rep], gnr)
+
+    return BatchGradients(
+        loss=result.value,
+        entity_ids=entity_ids,
+        entity_grads=ent_grads,
+        relation_ids=relation_ids,
+        relation_grads=rel_grads,
+        num_scores=b * (1 + n_neg),
+    )

@@ -1,0 +1,169 @@
+"""Training configuration — the single source of every hyperparameter.
+
+Defaults follow the paper's Table II where feasible at simulation scale
+(embedding dimension is reduced from 400 since NumPy on one box replaces a
+32-core cluster; all compared systems always share one config, so ratios
+are unaffected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.utils.validation import (
+    check_fraction,
+    check_in,
+    check_positive,
+)
+
+
+@dataclass
+class TrainingConfig:
+    """Hyperparameters for one distributed KGE training run.
+
+    Model / objective
+    -----------------
+    model: score function name (``"transe"``, ``"distmult"``, ...).
+    dim: base embedding dimension ``d``.
+    loss: ``"ranking"`` (margin), ``"logistic"``, or
+        ``"self-adversarial"`` (RotatE-style weighted negatives, extension).
+    margin: ranking-loss margin ``gamma``.
+
+    Optimization
+    ------------
+    lr: AdaGrad learning rate (paper: 0.1).
+    optimizer: ``"adagrad"`` (paper) or ``"sgd"``.
+    batch_size: positives per mini-batch ``b``.
+    num_negatives: corruptions per positive ``b_n``.
+    negative_strategy: ``"chunked"`` (PBG/DGL-KE style) or ``"independent"``.
+    negative_chunk: positives sharing one negative set ``b_c``.
+    filter_false_negatives: resample corruptions that hit true triples.
+    epochs: training epochs.
+
+    Cluster
+    -------
+    num_machines: simulated machines (1 worker + 1 server shard each).
+    partitioner: ``"metis"`` or ``"random"``.
+    bandwidth / latency: remote network model parameters.
+    compute_throughput: worker compute model (element-ops/second).
+    wire_dim: embedding dimension the *cost models* assume (the paper's
+        d = 400).  The trained dimension stays ``dim`` for tractability;
+        bytes-on-the-wire and scoring flops are scaled by ``wire_dim/dim``
+        so simulated times reflect paper-scale embeddings.  ``None`` makes
+        the cost models use the actual ``dim``.
+    pbg_partitions: number of entity partitions in the PBG baseline's
+        preprocessing — fixed independent of worker count, as in PBG
+        itself (its lock server allows at most floor(P/2) concurrent
+        buckets, which is what bounds PBG's scalability in Fig. 6).
+    compression: lossy wire codec for remote PS traffic (``"none"``,
+        ``"fp16"``, ``"int8"``) — an extension beyond the paper; see
+        :mod:`repro.ps.compression`.
+    machine_speeds: optional per-machine relative compute speeds (length
+        ``num_machines``; 1.0 = nominal).  Models heterogeneous clusters /
+        stragglers: a 0.5 entry halves that machine's compute throughput.
+
+    Hot-embedding cache (HET-KG only)
+    ---------------------------------
+    cache_strategy: ``"cps"``, ``"dps"``, or ``"none"`` (DGL-KE behaviour).
+    cache_capacity: total cached rows per worker (entities + relations).
+    entity_ratio: fraction of slots for entities; ``None`` disables the
+        heterogeneity fix (HET-KG-N of Table VII).
+    sync_period: ``P`` — cache refresh period bounding staleness.
+    dps_window: ``D`` — DPS prefetch window in iterations.
+
+    seed: master seed for all randomness.
+    """
+
+    # model / objective
+    model: str = "transe"
+    dim: int = 16
+    loss: str = "ranking"
+    margin: float = 1.0
+
+    # optimization
+    lr: float = 0.1
+    optimizer: str = "adagrad"
+    batch_size: int = 32
+    num_negatives: int = 8
+    negative_strategy: str = "chunked"
+    negative_chunk: int = 16
+    filter_false_negatives: bool = False
+    epochs: int = 5
+
+    # cluster
+    num_machines: int = 4
+    partitioner: str = "metis"
+    bandwidth: float = 125e6
+    latency: float = 2e-4
+    compute_throughput: float = 2e9
+    wire_dim: int | None = 400
+    pbg_partitions: int = 4
+    compression: str = "none"
+    machine_speeds: tuple[float, ...] | None = None
+
+    # hot-embedding cache
+    cache_strategy: str = "none"
+    cache_capacity: int = 512
+    entity_ratio: float | None = 0.25
+    sync_period: int = 8
+    dps_window: int = 32
+
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("dim", self.dim)
+        check_positive("lr", self.lr)
+        check_positive("batch_size", self.batch_size)
+        check_positive("num_negatives", self.num_negatives)
+        check_positive("negative_chunk", self.negative_chunk)
+        check_positive("epochs", self.epochs)
+        check_positive("num_machines", self.num_machines)
+        check_positive("cache_capacity", self.cache_capacity)
+        check_positive("sync_period", self.sync_period)
+        check_positive("dps_window", self.dps_window)
+        check_positive("margin", self.margin)
+        check_in("loss", self.loss, ("ranking", "logistic", "self-adversarial"))
+        check_in("optimizer", self.optimizer, ("adagrad", "sgd"))
+        check_in(
+            "negative_strategy", self.negative_strategy, ("chunked", "independent")
+        )
+        check_in("partitioner", self.partitioner, ("metis", "random"))
+        check_in("cache_strategy", self.cache_strategy, ("cps", "dps", "none"))
+        if self.entity_ratio is not None:
+            check_fraction("entity_ratio", self.entity_ratio)
+        if self.wire_dim is not None:
+            check_positive("wire_dim", self.wire_dim)
+        check_positive("pbg_partitions", self.pbg_partitions)
+        check_in("compression", self.compression, ("none", "fp16", "int8"))
+        if self.machine_speeds is not None:
+            if len(self.machine_speeds) != self.num_machines:
+                raise ValueError(
+                    f"machine_speeds has {len(self.machine_speeds)} entries "
+                    f"for {self.num_machines} machines"
+                )
+            for speed in self.machine_speeds:
+                check_positive("machine_speeds entry", speed)
+
+    def speed_of(self, machine: int) -> float:
+        """Relative compute speed of ``machine`` (1.0 when homogeneous)."""
+        if self.machine_speeds is None:
+            return 1.0
+        return self.machine_speeds[machine]
+
+    @property
+    def cost_dim(self) -> int:
+        """Embedding dimension the cost models charge for."""
+        return self.wire_dim if self.wire_dim is not None else self.dim
+
+    @property
+    def byte_scale(self) -> float:
+        """Multiplier turning actual row bytes into wire bytes."""
+        return self.cost_dim / self.dim
+
+    def with_overrides(self, **kwargs) -> "TrainingConfig":
+        """A copy with some fields replaced (re-validated)."""
+        return replace(self, **kwargs)
+
+    @property
+    def uses_cache(self) -> bool:
+        return self.cache_strategy != "none"

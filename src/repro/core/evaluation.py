@@ -1,0 +1,263 @@
+"""Filtered link-prediction evaluation: MRR, MR, Hits@k.
+
+The paper's protocol (§VI-A): for each test triple, corrupt the head and
+the tail against candidate entities, rank the true entity by model score,
+and report Mean Reciprocal Rank, Mean Rank, and Hits@{1,3,10} under the
+*filtered* setting — candidates that form a known true triple are excluded
+from the ranking.
+
+For large graphs the candidate set can be a uniform sample of entities
+(plus the true one); this keeps evaluation tractable and, because every
+compared system is scored the same way, preserves relative orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.models.base import KGEModel
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class LinkPredictionResult:
+    """Aggregated ranking metrics over all queries.
+
+    ``head_mrr``/``tail_mrr`` break the score down by corruption side —
+    tail prediction is usually easier on relation-skewed graphs, and the
+    gap is a useful diagnostic.
+    """
+
+    mrr: float
+    mr: float
+    hits: dict[int, float] = field(default_factory=dict)
+    num_queries: int = 0
+    head_mrr: float = 0.0
+    tail_mrr: float = 0.0
+
+    def as_row(self) -> list[float]:
+        """[MRR, Hits@1, Hits@10] — the columns of the paper's tables."""
+        return [self.mrr, self.hits.get(1, 0.0), self.hits.get(10, 0.0)]
+
+
+def _rank_one_side(
+    model: KGEModel,
+    entity_table: np.ndarray,
+    relation_table: np.ndarray,
+    h: int,
+    r: int,
+    t: int,
+    replace_head: bool,
+    candidates: np.ndarray,
+    filter_index: "FilterIndex | None",
+) -> int:
+    """Filtered rank of the true entity for one corruption side."""
+    true_entity = h if replace_head else t
+    cand_rows = entity_table[candidates]
+    n = len(candidates)
+    if replace_head:
+        h_rows = cand_rows
+        t_rows = np.broadcast_to(entity_table[t], (n, entity_table.shape[1]))
+    else:
+        h_rows = np.broadcast_to(entity_table[h], (n, entity_table.shape[1]))
+        t_rows = cand_rows
+    r_rows = np.broadcast_to(relation_table[r], (n, relation_table.shape[1]))
+    scores = model.score(np.ascontiguousarray(h_rows), np.ascontiguousarray(r_rows), np.ascontiguousarray(t_rows))
+
+    true_mask = candidates == true_entity
+    true_score = model.score(
+        entity_table[h][None, :], relation_table[r][None, :], entity_table[t][None, :]
+    )[0]
+
+    if filter_index is not None:
+        known = filter_index.known_entities(h, r, t, replace_head)
+        if len(known):
+            drop = np.isin(candidates, known) & ~true_mask
+            scores = np.where(drop, -np.inf, scores)
+    # Rank = 1 + number of (non-true) candidates scoring strictly higher.
+    better = np.count_nonzero(scores[~true_mask] > true_score)
+    return 1 + int(better)
+
+
+class FilterIndex:
+    """Per-query lookup of known true triples for filtered ranking.
+
+    Replaces the O(candidates) per-query membership loop with one dict
+    lookup returning the (usually tiny) array of entities that complete a
+    known triple for the query's fixed ``(relation, other-entity)`` pair.
+    """
+
+    def __init__(self, filter_set: set[tuple[int, int, int]]) -> None:
+        heads: dict[tuple[int, int], list[int]] = {}
+        tails: dict[tuple[int, int], list[int]] = {}
+        for h, r, t in filter_set:
+            heads.setdefault((r, t), []).append(h)
+            tails.setdefault((h, r), []).append(t)
+        self._heads = {k: np.asarray(v, dtype=np.int64) for k, v in heads.items()}
+        self._tails = {k: np.asarray(v, dtype=np.int64) for k, v in tails.items()}
+        self._empty = np.empty(0, dtype=np.int64)
+
+    def known_entities(
+        self, h: int, r: int, t: int, replace_head: bool
+    ) -> np.ndarray:
+        """Entities ``e`` with ``(e, r, t)`` (head side) or ``(h, r, e)``
+        (tail side) in the filter set."""
+        if replace_head:
+            return self._heads.get((r, t), self._empty)
+        return self._tails.get((h, r), self._empty)
+
+
+def _ranks_batched(
+    model: KGEModel,
+    entity_table: np.ndarray,
+    relation_table: np.ndarray,
+    triples: np.ndarray,
+    replace_head: bool,
+    filter_index: "FilterIndex | None",
+    block_rows: int = 200_000,
+) -> list[int]:
+    """Full-candidate ranks for one corruption side, many queries at once.
+
+    Scores ``(queries x all entities)`` through the model in flat blocks of
+    at most ``block_rows`` rows, avoiding the per-query Python loop.
+
+    Measured caveat: the reference path already vectorises each query over
+    all entities using zero-copy broadcast views, so on typical sizes this
+    block path is *not* faster (it materialises fancy-indexed row copies).
+    It exists as an independently-implemented oracle for equivalence
+    testing and for models whose ``score`` has high per-call overhead.
+    """
+    n_ent = len(entity_table)
+    ranks: list[int] = []
+    queries_per_block = max(1, block_rows // n_ent)
+    for start in range(0, len(triples), queries_per_block):
+        chunk = triples[start : start + queries_per_block]
+        q = len(chunk)
+        h = chunk[:, 0]
+        r = chunk[:, 1]
+        t = chunk[:, 2]
+        cand = np.tile(np.arange(n_ent), q)
+        rep = np.repeat(np.arange(q), n_ent)
+        if replace_head:
+            h_rows = entity_table[cand]
+            t_rows = entity_table[t[rep]]
+        else:
+            h_rows = entity_table[h[rep]]
+            t_rows = entity_table[cand]
+        r_rows = relation_table[r[rep]]
+        scores = model.score(h_rows, r_rows, t_rows).reshape(q, n_ent)
+
+        true_entity = h if replace_head else t
+        true_scores = scores[np.arange(q), true_entity]
+        if filter_index is not None:
+            for i in range(q):
+                known = filter_index.known_entities(
+                    int(h[i]), int(r[i]), int(t[i]), replace_head
+                )
+                if len(known):
+                    scores[i, known] = -np.inf
+            # The true entity is in every filter set; restore its score.
+            scores[np.arange(q), true_entity] = true_scores
+        better = (scores > true_scores[:, None]).sum(axis=1)
+        # The true entity never counts (its score is never > itself).
+        ranks.extend((1 + better).tolist())
+    return ranks
+
+
+def evaluate_link_prediction(
+    model: KGEModel,
+    entity_table: np.ndarray,
+    relation_table: np.ndarray,
+    test: KnowledgeGraph,
+    filter_set: set[tuple[int, int, int]] | None = None,
+    hits_at: tuple[int, ...] = (1, 3, 10),
+    max_queries: int | None = None,
+    num_candidates: int | None = None,
+    seed: int | np.random.Generator | None = None,
+    batched: bool = False,
+) -> LinkPredictionResult:
+    """Evaluate embeddings on ``test`` with head and tail corruption.
+
+    Parameters
+    ----------
+    entity_table / relation_table:
+        Global embedding matrices (from the parameter server).
+    filter_set:
+        All known true triples (train+valid+test) for filtered ranking;
+        ``None`` gives raw ranking.
+    max_queries:
+        Evaluate at most this many test triples (uniform subsample).
+    num_candidates:
+        Sample this many negative candidate entities per query instead of
+        ranking against all entities (plus the true one).
+    batched:
+        Use the block full-ranking path when ranking against all entities
+        (results are identical to the reference; mainly useful as a
+        cross-check — see :func:`_ranks_batched`).
+    """
+    rng = make_rng(seed)
+    triples = test.triples
+    if max_queries is not None and len(triples) > max_queries:
+        idx = rng.choice(len(triples), size=max_queries, replace=False)
+        triples = triples[idx]
+    filter_index = FilterIndex(filter_set) if filter_set is not None else None
+
+    num_entities = len(entity_table)
+    full_ranking = num_candidates is None or num_candidates >= num_entities
+    if batched and full_ranking and len(triples):
+        head_ranks = _ranks_batched(
+            model, entity_table, relation_table, triples, True, filter_index
+        )
+        tail_ranks = _ranks_batched(
+            model, entity_table, relation_table, triples, False, filter_index
+        )
+        return _aggregate(head_ranks, tail_ranks, hits_at)
+
+    head_ranks: list[int] = []
+    tail_ranks: list[int] = []
+    for h, r, t in triples:
+        h, r, t = int(h), int(r), int(t)
+        for replace_head in (True, False):
+            true_entity = h if replace_head else t
+            if num_candidates is not None and num_candidates < num_entities:
+                sampled = rng.choice(num_entities, size=num_candidates, replace=False)
+                candidates = np.unique(np.append(sampled, true_entity))
+            else:
+                candidates = np.arange(num_entities)
+            rank = _rank_one_side(
+                model,
+                entity_table,
+                relation_table,
+                h,
+                r,
+                t,
+                replace_head,
+                candidates,
+                filter_index,
+            )
+            (head_ranks if replace_head else tail_ranks).append(rank)
+
+    return _aggregate(head_ranks, tail_ranks, hits_at)
+
+
+def _aggregate(
+    head_ranks: list[int], tail_ranks: list[int], hits_at: tuple[int, ...]
+) -> LinkPredictionResult:
+    """Fold per-side rank lists into the metric dataclass."""
+    ranks = head_ranks + tail_ranks
+    if not ranks:
+        return LinkPredictionResult(mrr=0.0, mr=0.0, hits={k: 0.0 for k in hits_at})
+    ranks_arr = np.asarray(ranks, dtype=np.float64)
+    head_arr = np.asarray(head_ranks, dtype=np.float64)
+    tail_arr = np.asarray(tail_ranks, dtype=np.float64)
+    return LinkPredictionResult(
+        mrr=float((1.0 / ranks_arr).mean()),
+        mr=float(ranks_arr.mean()),
+        hits={k: float((ranks_arr <= k).mean()) for k in hits_at},
+        num_queries=len(ranks),
+        head_mrr=float((1.0 / head_arr).mean()) if len(head_arr) else 0.0,
+        tail_mrr=float((1.0 / tail_arr).mean()) if len(tail_arr) else 0.0,
+    )

@@ -1,0 +1,325 @@
+"""HET-KG trainer: the full simulated cluster assembly and training loop.
+
+``HETKGTrainer`` wires together everything the paper's Fig. 3 shows: a
+METIS-partitioned knowledge graph, one server shard + one worker per
+machine, and (when enabled) per-worker hot-embedding caches managed by the
+CPS or DPS strategy with bounded-staleness synchronization.
+
+With ``cache_strategy="none"`` the identical machinery degrades to DGL-KE's
+pull-everything-per-batch loop, which is how the baseline is implemented
+(:class:`repro.core.baselines.DGLKETrainer`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cache.strategies import (
+    ConstantPartialStale,
+    DynamicPartialStale,
+    HotEmbeddingStrategy,
+)
+from repro.cache.sync import HotEmbeddingCache
+from repro.core.config import TrainingConfig
+from repro.core.convergence import HistoryPoint, TrainingHistory
+from repro.core.telemetry import Telemetry
+from repro.core.evaluation import LinkPredictionResult, evaluate_link_prediction
+from repro.core.worker import Worker
+from repro.kg.graph import KnowledgeGraph
+from repro.models.base import KGEModel, get_model
+from repro.models.losses import get_loss
+from repro.optim import get_optimizer
+from repro.partition.base import Partition
+from repro.partition.metis import MetisPartitioner
+from repro.partition.random_partition import RandomPartitioner
+from repro.ps.compression import get_compressor
+from repro.ps.kvstore import ShardedKVStore
+from repro.ps.network import CommRecord, ComputeModel, NetworkModel
+from repro.ps.server import ParameterServer
+from repro.sampling.minibatch import EpochSampler
+from repro.sampling.negative import NegativeSampler
+from repro.utils.rng import make_rng, spawn_rngs
+
+
+@dataclass
+class TrainResult:
+    """Everything a training run produced.
+
+    ``sim_time`` is the slowest machine's simulated clock — the paper's
+    "Time" column.  ``compute_time``/``communication_time`` are that same
+    machine's breakdown (Fig. 7).  ``comm_totals`` aggregates the bytes all
+    machines moved.
+    """
+
+    config: TrainingConfig
+    system: str
+    history: TrainingHistory
+    sim_time: float
+    compute_time: float
+    communication_time: float
+    comm_totals: CommRecord
+    cache_hit_ratio: float
+    final_metrics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def communication_fraction(self) -> float:
+        if self.sim_time == 0:
+            return 0.0
+        return self.communication_time / self.sim_time
+
+
+class HETKGTrainer:
+    """Distributed KGE training with hotness-aware caches.
+
+    Parameters
+    ----------
+    config:
+        The full hyperparameter set.  ``config.cache_strategy`` selects
+        HET-KG-C (``"cps"``), HET-KG-D (``"dps"``), or the cache-less
+        DGL-KE behaviour (``"none"``).
+    """
+
+    system_name = "HET-KG"
+
+    def __init__(self, config: TrainingConfig) -> None:
+        self.config = config
+        self.model: KGEModel = get_model(config.model, config.dim)
+        self.loss = get_loss(config.loss, config.margin)
+        self.network = NetworkModel(
+            bandwidth=config.bandwidth, latency=config.latency
+        )
+        self.compute = ComputeModel(throughput=config.compute_throughput)
+        self._rng = make_rng(config.seed)
+        self.server: ParameterServer | None = None
+        self.workers: list[Worker] = []
+        self.partition: Partition | None = None
+
+    # ------------------------------------------------------------------ setup
+
+    def _make_partitioner(self):
+        if self.config.partitioner == "metis":
+            return MetisPartitioner(seed=self._rng)
+        return RandomPartitioner(seed=self._rng)
+
+    def _make_strategy(self) -> HotEmbeddingStrategy | None:
+        cfg = self.config
+        if cfg.cache_strategy == "cps":
+            return ConstantPartialStale(cfg.cache_capacity, cfg.entity_ratio)
+        if cfg.cache_strategy == "dps":
+            return DynamicPartialStale(
+                cfg.cache_capacity, cfg.dps_window, cfg.entity_ratio
+            )
+        return None
+
+    def _cache_budgets(self) -> tuple[int, int]:
+        # Either table may hold up to the whole budget: the filtering
+        # algorithm enforces the entity/relation split (and reassigns slots
+        # one side cannot fill), bounding the *combined* size by the
+        # configured capacity.
+        cfg = self.config
+        return cfg.cache_capacity, cfg.cache_capacity
+
+    def setup(self, train_graph: KnowledgeGraph) -> None:
+        """Partition the graph and build the cluster (idempotent)."""
+        if self.server is not None:
+            return
+        cfg = self.config
+        partitioner = self._make_partitioner()
+        self.partition = partitioner.partition(train_graph, cfg.num_machines)
+
+        entity_table = self.model.init_entities(train_graph.num_entities, self._rng)
+        relation_table = self.model.init_relations(
+            train_graph.num_relations, self._rng
+        )
+        store = ShardedKVStore(
+            entity_table,
+            relation_table,
+            self.partition.entity_part,
+            cfg.num_machines,
+        )
+        self.server = ParameterServer(
+            store,
+            get_optimizer(cfg.optimizer, cfg.lr),
+            byte_scale=cfg.byte_scale,
+            compressor=get_compressor(cfg.compression),
+        )
+
+        worker_rngs = spawn_rngs(self._rng, cfg.num_machines * 2)
+        entity_slots, relation_slots = self._cache_budgets()
+        for machine in range(cfg.num_machines):
+            triple_idx = self.partition.triples_of(machine)
+            if len(triple_idx) == 0:
+                continue  # tiny graphs may leave a machine without triples
+            subgraph = train_graph.subgraph(triple_idx)
+            neg = NegativeSampler(
+                num_entities=train_graph.num_entities,
+                num_negatives=cfg.num_negatives,
+                strategy=cfg.negative_strategy,
+                chunk_size=cfg.negative_chunk,
+                filter_graph=train_graph if cfg.filter_false_negatives else None,
+                seed=worker_rngs[2 * machine],
+            )
+            sampler = EpochSampler(
+                subgraph, cfg.batch_size, neg, seed=worker_rngs[2 * machine + 1]
+            )
+            compute = ComputeModel(
+                throughput=cfg.compute_throughput * cfg.speed_of(machine)
+            )
+            strategy = self._make_strategy()
+            cache = None
+            if strategy is not None:
+                cache = HotEmbeddingCache(
+                    self.server,
+                    machine,
+                    entity_capacity=entity_slots,
+                    relation_capacity=relation_slots,
+                    entity_width=self.model.entity_dim,
+                    relation_width=self.model.relation_dim,
+                    sync_period=cfg.sync_period,
+                    local_lr=cfg.lr,
+                )
+            self.workers.append(
+                Worker(
+                    machine,
+                    sampler,
+                    self.server,
+                    self.model,
+                    self.loss,
+                    self.network,
+                    compute,
+                    strategy=strategy,
+                    cache=cache,
+                    cost_dim=cfg.cost_dim,
+                )
+            )
+
+    # ------------------------------------------------------------------ train
+
+    def train(
+        self,
+        train_graph: KnowledgeGraph,
+        eval_graph: KnowledgeGraph | None = None,
+        filter_set: set[tuple[int, int, int]] | None = None,
+        eval_every: int | None = None,
+        eval_max_queries: int = 200,
+        eval_candidates: int | None = 500,
+        telemetry: Telemetry | None = None,
+    ) -> TrainResult:
+        """Run ``config.epochs`` epochs; optionally evaluate along the way.
+
+        Parameters
+        ----------
+        eval_graph:
+            Validation/test triples to rank at epoch boundaries.
+        eval_every:
+            Evaluate every this many epochs (``None`` = only after the
+            final epoch, and only if ``eval_graph`` is given).
+        telemetry:
+            Optional per-iteration recorder attached to every worker.
+        """
+        self.setup(train_graph)
+        if telemetry is not None:
+            for worker in self.workers:
+                worker.telemetry = telemetry
+        assert self.server is not None
+        cfg = self.config
+        history = TrainingHistory()
+        iterations = max(w.sampler.batches_per_epoch for w in self.workers)
+
+        for worker in self.workers:
+            worker.start()
+
+        for epoch in range(1, cfg.epochs + 1):
+            losses = []
+            # Round-robin interleaving simulates concurrent asynchronous
+            # workers deterministically: each worker's cache misses the
+            # other workers' pushes until its own refresh, exactly the
+            # staleness the synchronization algorithm bounds.
+            for _ in range(iterations):
+                for worker in self.workers:
+                    losses.append(worker.step())
+
+            metrics: dict[str, float] = {}
+            is_last = epoch == cfg.epochs
+            due = eval_every is not None and epoch % eval_every == 0
+            if eval_graph is not None and (due or is_last):
+                result = self.evaluate(
+                    eval_graph,
+                    filter_set=filter_set,
+                    max_queries=eval_max_queries,
+                    num_candidates=eval_candidates,
+                )
+                metrics = {
+                    "mrr": result.mrr,
+                    "mr": result.mr,
+                    **{f"hits@{k}": v for k, v in result.hits.items()},
+                }
+            history.append(
+                HistoryPoint(
+                    epoch=epoch,
+                    sim_time=max(w.clock.elapsed for w in self.workers),
+                    loss=float(np.mean(losses)) if losses else 0.0,
+                    metrics=metrics,
+                )
+            )
+
+        slowest = max(self.workers, key=lambda w: w.clock.elapsed)
+        hit_ratios = [w.cache_hit_ratio() for w in self.workers]
+        return TrainResult(
+            config=cfg,
+            system=self.system_name,
+            history=history,
+            sim_time=slowest.clock.elapsed,
+            compute_time=slowest.clock.category("compute"),
+            communication_time=slowest.clock.category("communication"),
+            comm_totals=self.network.totals,
+            cache_hit_ratio=float(np.mean(hit_ratios)) if hit_ratios else 0.0,
+            final_metrics=history.points[-1].metrics if history.points else {},
+        )
+
+    # --------------------------------------------------------------- evaluate
+
+    def evaluate(
+        self,
+        test_graph: KnowledgeGraph,
+        filter_set: set[tuple[int, int, int]] | None = None,
+        max_queries: int | None = 200,
+        num_candidates: int | None = 500,
+    ) -> LinkPredictionResult:
+        """Filtered link prediction against the server's global tables."""
+        if self.server is None:
+            raise RuntimeError("train() or setup() must run before evaluate()")
+        return evaluate_link_prediction(
+            self.model,
+            self.server.store.table("entity"),
+            self.server.store.table("relation"),
+            test_graph,
+            filter_set=filter_set,
+            max_queries=max_queries,
+            num_candidates=num_candidates,
+            seed=self.config.seed + 7,
+        )
+
+
+def make_trainer(system: str, config: TrainingConfig):
+    """Build the trainer for a paper system name.
+
+    ``system`` is one of ``"hetkg-c"``, ``"hetkg-d"``, ``"dglke"``,
+    ``"pbg"`` (case-insensitive).
+    """
+    from repro.core.baselines import DGLKETrainer, PBGTrainer
+
+    key = system.lower()
+    if key in ("hetkg-c", "het-kg-c", "cps"):
+        return HETKGTrainer(config.with_overrides(cache_strategy="cps"))
+    if key in ("hetkg-d", "het-kg-d", "dps"):
+        return HETKGTrainer(config.with_overrides(cache_strategy="dps"))
+    if key in ("dglke", "dgl-ke"):
+        return DGLKETrainer(config)
+    if key == "pbg":
+        return PBGTrainer(config)
+    raise KeyError(
+        f"unknown system {system!r}; expected hetkg-c, hetkg-d, dglke, or pbg"
+    )

@@ -1,0 +1,214 @@
+"""One machine's training loop (Algorithm 3, worker side).
+
+A worker owns a partition of the training triples and iterates:
+
+1. obtain the next mini-batch (live-sampled, or prefetched by the CPS/DPS
+   strategy — Algorithm 1);
+2. (cached workers) rebuild / synchronize the hot-embedding table when the
+   strategy or the staleness bound ``P`` says so;
+3. fetch the batch's embedding rows — hot ids from the local cache,
+   everything else from the parameter server;
+4. forward + backward (:mod:`repro.core.compute`);
+5. apply its own gradients to cached rows and push *all* gradients to the
+   parameter server (the server applies AdaGrad — Algorithm 4).
+
+Every fetch/push advances the worker's simulated clock through the network
+model; every score/backprop advances it through the compute model.  With
+``cache=None`` and a live sampler this is exactly the DGL-KE worker loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.strategies import HotEmbeddingStrategy
+from repro.cache.sync import HotEmbeddingCache
+from repro.core.compute import compute_batch_gradients
+from repro.core.telemetry import IterationRecord, Telemetry
+from repro.models.base import KGEModel
+from repro.models.losses import Loss
+from repro.ps.network import CommRecord, ComputeModel, NetworkModel
+from repro.ps.server import ParameterServer
+from repro.sampling.minibatch import EpochSampler
+from repro.utils.simclock import SimClock
+
+
+class Worker:
+    """A simulated training process on one machine.
+
+    Parameters
+    ----------
+    machine:
+        This worker's machine id (decides which embeddings are local).
+    sampler:
+        Mini-batch source over the worker's subgraph.
+    server:
+        The shared parameter server.
+    model / loss:
+        The scoring geometry and objective (shared by all workers).
+    network / compute:
+        Cost models converting traffic and flops into simulated seconds.
+    strategy:
+        CPS/DPS hot-set manager; ``None`` disables caching (DGL-KE mode).
+    cache:
+        The hot-embedding tables; required iff ``strategy`` is given.
+    cost_dim:
+        Dimension the compute model charges per score (defaults to the
+        model's actual ``dim``; trainers pass the wire dimension).
+    telemetry:
+        Optional per-iteration recorder (see :mod:`repro.core.telemetry`).
+    """
+
+    def __init__(
+        self,
+        machine: int,
+        sampler: EpochSampler,
+        server: ParameterServer,
+        model: KGEModel,
+        loss: Loss,
+        network: NetworkModel,
+        compute: ComputeModel,
+        strategy: HotEmbeddingStrategy | None = None,
+        cache: HotEmbeddingCache | None = None,
+        cost_dim: int | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        if (strategy is None) != (cache is None):
+            raise ValueError("strategy and cache must be provided together")
+        self.machine = machine
+        self.sampler = sampler
+        self.server = server
+        self.model = model
+        self.loss = loss
+        self.network = network
+        self.compute = compute
+        self.strategy = strategy
+        self.cache = cache
+        self.cost_dim = cost_dim if cost_dim is not None else model.dim
+        self.telemetry = telemetry
+        self.clock = SimClock()
+        self._step_comm: CommRecord | None = None
+        self.iterations = 0
+        self._started = False
+
+    # ------------------------------------------------------------------ setup
+
+    def start(self) -> None:
+        """Build the initial hot-embedding table (no-op without a cache)."""
+        if self._started:
+            return
+        self._started = True
+        if self.strategy is None or self.cache is None:
+            return
+        hot = self.strategy.setup(self.sampler)
+        self._charge_overhead()
+        comm = self.cache.install(hot)
+        self._charge_comm(comm)
+
+    # ------------------------------------------------------------------- step
+
+    def step(self) -> float:
+        """Run one training iteration; returns the batch loss."""
+        if not self._started:
+            self.start()
+        self._step_comm = CommRecord()
+        if self.cache is not None:
+            stats_before = self.cache.combined_stats()
+            hits_before, misses_before = stats_before.hits, stats_before.misses
+        else:
+            hits_before = misses_before = 0
+
+        # 1. next batch (and possibly a new hot set to install).
+        if self.strategy is not None and self.cache is not None:
+            batch, new_hot = self.strategy.next_batch()
+            self._charge_overhead()
+            if new_hot is not None:
+                self._charge_comm(self.cache.install(new_hot))
+            # 2. bounded-staleness synchronization (every P iterations).
+            sync_comm = self.cache.tick()
+            if sync_comm is not None:
+                self._charge_comm(sync_comm)
+        else:
+            batch = self.sampler.next_batch()
+
+        # 3. fetch embedding rows.
+        ent_ids = batch.unique_entities()
+        rel_ids = batch.unique_relations()
+        if self.cache is not None:
+            ent_rows, comm_e = self.cache.fetch("entity", ent_ids)
+            rel_rows, comm_r = self.cache.fetch("relation", rel_ids)
+        else:
+            ent_rows, comm_e = self.server.pull("entity", ent_ids, self.machine)
+            rel_rows, comm_r = self.server.pull("relation", rel_ids, self.machine)
+        self._charge_comm(comm_e)
+        self._charge_comm(comm_r)
+
+        # 4. forward + backward.
+        grads = compute_batch_gradients(
+            self.model, self.loss, batch, ent_ids, ent_rows, rel_ids, rel_rows
+        )
+        self.clock.advance(
+            self.compute.batch_time(grads.num_scores, self.cost_dim), "compute"
+        )
+
+        # 5. local cache update + push everything to the PS.
+        if self.cache is not None:
+            self.cache.apply_local_gradients(
+                "entity", grads.entity_ids, grads.entity_grads
+            )
+            self.cache.apply_local_gradients(
+                "relation", grads.relation_ids, grads.relation_grads
+            )
+        push_e = self.server.push(
+            "entity", grads.entity_ids, grads.entity_grads, self.machine
+        )
+        push_r = self.server.push(
+            "relation", grads.relation_ids, grads.relation_grads, self.machine
+        )
+        self._charge_comm(push_e)
+        self._charge_comm(push_r)
+
+        self.iterations += 1
+        if self.telemetry is not None:
+            if self.cache is not None:
+                stats = self.cache.combined_stats()
+                hits = stats.hits - hits_before
+                misses = stats.misses - misses_before
+            else:
+                hits, misses = 0, 0
+            self.telemetry.add(
+                IterationRecord(
+                    worker=self.machine,
+                    iteration=self.iterations,
+                    loss=grads.loss,
+                    local_bytes=self._step_comm.local_bytes,
+                    remote_bytes=self._step_comm.remote_bytes,
+                    sim_time=self.clock.elapsed,
+                    cache_hits=hits,
+                    cache_misses=misses,
+                )
+            )
+        self._step_comm = None
+        return grads.loss
+
+    # ------------------------------------------------------------------ stats
+
+    def cache_hit_ratio(self) -> float:
+        """Combined entity+relation hit ratio (0.0 without a cache)."""
+        if self.cache is None:
+            return 0.0
+        return self.cache.combined_stats().hit_ratio
+
+    # ---------------------------------------------------------------- private
+
+    def _charge_comm(self, comm: CommRecord) -> None:
+        if self._step_comm is not None:
+            self._step_comm.merge(comm)
+        self.clock.advance(self.network.time_for(comm), "communication")
+
+    def _charge_overhead(self) -> None:
+        if self.strategy is None:
+            return
+        items = self.strategy.consume_overhead_items()
+        if items:
+            self.clock.advance(self.compute.overhead_time(items), "compute")

@@ -1,0 +1,22 @@
+"""Experiment runners — one per table/figure of the paper's §VI.
+
+Every runner returns an :class:`repro.experiments.common.ExperimentResult`
+whose rows mirror the paper's table columns (or a figure's series), so
+``python -m repro run <experiment>`` regenerates any result.  The registry
+in :mod:`repro.experiments.registry` maps paper ids to runners.
+"""
+
+from repro.experiments.common import ExperimentResult, base_config, dataset_bundle
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.sweep import SweepResult, run_sweep
+
+__all__ = [
+    "ExperimentResult",
+    "base_config",
+    "dataset_bundle",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+    "SweepResult",
+    "run_sweep",
+]

@@ -1,0 +1,102 @@
+"""Accuracy tables: link-prediction results on the three datasets
+(Tables III, IV, V of the paper)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ALL_SYSTEMS,
+    ExperimentResult,
+    base_config,
+    dataset_bundle,
+    link_prediction_rows,
+)
+
+HEADERS = ["system", "model", "MRR", "Hits@1", "Hits@10", "time (s)"]
+
+
+def _accuracy_table(
+    experiment_id: str,
+    dataset: str,
+    models: tuple[str, ...],
+    scale: float,
+    epochs: int,
+    seed: int,
+    note: str,
+    **config_overrides,
+) -> ExperimentResult:
+    bundle = dataset_bundle(dataset, scale=scale, seed=seed)
+    config = base_config(epochs=epochs, seed=seed, **config_overrides)
+    rows = []
+    for model in models:
+        rows.extend(link_prediction_rows(ALL_SYSTEMS, config, bundle, model))
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"Link prediction results on {dataset}",
+        headers=HEADERS,
+        rows=rows,
+        notes=note,
+    )
+
+
+def run_table3(
+    scale: float = 0.05, epochs: int = 6, seed: int = 0
+) -> ExperimentResult:
+    """Table III: FB15k with TransE and DistMult.
+
+    Paper shape: all systems reach comparable accuracy; HET-KG variants
+    need the least time, PBG the most.
+    """
+    return _accuracy_table(
+        "table3",
+        "fb15k",
+        ("transe", "distmult"),
+        scale,
+        epochs,
+        seed,
+        "paper: comparable MRR across systems; time HET-KG < DGL-KE < PBG",
+    )
+
+
+def run_table4(
+    scale: float = 0.05, epochs: int = 6, seed: int = 0
+) -> ExperimentResult:
+    """Table IV: WN18 with TransE and DistMult.
+
+    WN18 has very few relation types, so the relation side of the cache
+    covers nearly all accesses — both HET-KG variants beat the baselines.
+    """
+    return _accuracy_table(
+        "table4",
+        "wn18",
+        ("transe", "distmult"),
+        scale,
+        epochs,
+        seed,
+        "paper: HET-KG fastest; CPS slightly ahead of DPS on this small graph",
+    )
+
+
+def run_table5(
+    scale: float = 0.2, epochs: int = 4, seed: int = 0
+) -> ExperimentResult:
+    """Table V: Freebase-86m with TransE.
+
+    Paper shape: HET-KG matches or improves accuracy at lower time; DPS is
+    the fastest on the large skewed graph.
+
+    Cache settings follow the paper's Table V discussion ("setting the
+    top-k value larger") — on the big graph each cache slot must earn its
+    refresh cost, so the sweep-calibrated capacity/period pair is used with
+    a DPS window sized for low churn.
+    """
+    return _accuracy_table(
+        "table5",
+        "freebase86m-mini",
+        ("transe",),
+        scale,
+        epochs,
+        seed,
+        "paper: HET-KG >= DGL-KE accuracy at lower time; DPS fastest",
+        sync_period=16,
+        dps_window=32,
+    )

@@ -1,0 +1,146 @@
+"""Training-efficiency studies: convergence (Fig. 5), scalability (Fig. 6),
+and the computation/communication breakdown (Fig. 7)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ALL_SYSTEMS,
+    SYSTEM_LABELS,
+    ExperimentResult,
+    base_config,
+    dataset_bundle,
+    run_system,
+)
+
+
+def run_fig5(
+    scale: float = 0.05,
+    epochs: int = 8,
+    seed: int = 0,
+    dataset: str = "fb15k",
+) -> ExperimentResult:
+    """Fig. 5: MRR-vs-simulated-time convergence curves per system.
+
+    Paper shape: all systems converge to similar accuracy; HET-KG curves
+    reach any given accuracy earlier (less time per epoch).
+    """
+    bundle = dataset_bundle(dataset, scale=scale, seed=seed)
+    config = base_config(epochs=epochs, seed=seed)
+    series: dict[str, list[tuple[float, float]]] = {}
+    rows = []
+    for system in ALL_SYSTEMS:
+        result = run_system(
+            system, config, bundle, eval_every=2, eval_max_queries=100
+        )
+        times, mrrs = result.history.series("mrr")
+        label = SYSTEM_LABELS[system]
+        series[label] = list(zip(times, mrrs))
+        target = 0.8 * max(mrrs)
+        rows.append(
+            [
+                label,
+                result.sim_time,
+                result.final_metrics.get("mrr", 0.0),
+                result.history.time_to_reach("mrr", target) or float("nan"),
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="fig5",
+        title=f"Convergence on {dataset}: MRR vs simulated time",
+        headers=["system", "total time (s)", "final MRR", "time to 80% of best MRR"],
+        rows=rows,
+        series=series,
+        notes="paper: HET-KG reaches comparable accuracy in less time",
+    )
+
+
+def run_fig6(
+    scale: float = 0.1,
+    epochs: int = 2,
+    seed: int = 0,
+    worker_counts: tuple[int, ...] = (1, 2, 4, 8),
+) -> ExperimentResult:
+    """Fig. 6: speedup vs number of workers on Freebase-86m.
+
+    Paper shape: PBG scales worst (dense relation transfer plus the lock
+    server's floor(P/2) parallelism bound); HET-KG's average speedup is
+    ~30% above DGL-KE's.
+
+    The sweep uses the paper's scalability regime — TransE at d = 400 on
+    CPU workers, where per-batch compute is substantial — so the compute
+    throughput is set to a CPU-bound figure; with compute negligible, no
+    ingress-limited PS system scales and the comparison degenerates.
+    """
+    bundle = dataset_bundle("freebase86m-mini", scale=scale, seed=seed)
+    systems = ("pbg", "dglke", "hetkg-d")
+    series: dict[str, list[tuple[float, float]]] = {}
+    rows = []
+    for system in systems:
+        times = {}
+        for k in worker_counts:
+            config = base_config(
+                epochs=epochs,
+                seed=seed,
+                num_machines=k,
+                compute_throughput=4e8,
+                # A cache slot pays off when its access frequency exceeds
+                # 1/P (each slot costs one refresh row per P iterations);
+                # this capacity/period pair sits at that break-even sweet
+                # spot for the Freebase skew.
+                cache_capacity=1024,
+                sync_period=16,
+            )
+            result = run_system(system, config, bundle, eval_max_queries=1)
+            times[k] = result.sim_time
+        base_time = times[worker_counts[0]]
+        speedups = [
+            (float(k), base_time / times[k] if times[k] > 0 else 0.0)
+            for k in worker_counts
+        ]
+        label = SYSTEM_LABELS[system]
+        series[label] = speedups
+        rows.append([label] + [s for _, s in speedups])
+    return ExperimentResult(
+        experiment_id="fig6",
+        title="Scalability: speedup vs workers (freebase86m-mini)",
+        headers=["system"] + [f"x{k} workers" for k in worker_counts],
+        rows=rows,
+        series=series,
+        notes="paper: PBG flattest; HET-KG ~30% above DGL-KE's speedup",
+    )
+
+
+def run_fig7(
+    scale: float = 0.05, epochs: int = 3, seed: int = 0
+) -> ExperimentResult:
+    """Fig. 7: per-system computation vs communication time.
+
+    Paper shape: compute time is nearly identical for DGL-KE and HET-KG
+    (the cache does not slow down the math); HET-KG's communication is
+    lower; PBG's communication is by far the largest.
+    """
+    rows = []
+    for dataset in ("fb15k", "wn18", "freebase86m-mini"):
+        bundle = dataset_bundle(dataset, scale=scale, seed=seed)
+        config = base_config(epochs=epochs, seed=seed)
+        for system in ALL_SYSTEMS:
+            result = run_system(system, config, bundle, eval_max_queries=1)
+            rows.append(
+                [
+                    dataset,
+                    SYSTEM_LABELS[system],
+                    result.compute_time,
+                    result.communication_time,
+                    result.sim_time,
+                ]
+            )
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="Per-epoch computation vs communication breakdown",
+        headers=["dataset", "system", "compute (s)", "communication (s)", "total (s)"],
+        rows=rows,
+        notes=(
+            "paper: DGL-KE and HET-KG compute are close; HET-KG communicates "
+            "less; PBG communication far exceeds the others"
+        ),
+    )

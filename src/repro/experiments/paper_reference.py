@@ -1,0 +1,195 @@
+"""The paper's published numbers, for side-by-side reporting.
+
+Each entry holds the values (or claims) the paper reports for one
+experiment, rendered verbatim into EXPERIMENTS.md next to our measured
+results.  Absolute values are not expected to match (our substrate is a
+simulated cluster and synthetic data); the ``shape`` string states the
+relationship that *is* expected to reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperReference:
+    """What the paper reports for one table/figure."""
+
+    experiment_id: str
+    paper_label: str
+    paper_values: str  # verbatim-ish numbers or claims from the paper
+    shape: str  # the relationship our reproduction must show
+
+
+PAPER_REFERENCES: dict[str, PaperReference] = {
+    ref.experiment_id: ref
+    for ref in [
+        PaperReference(
+            "table1",
+            "Table I (discussed in §I/§III-B)",
+            "DGL-KE + TransE on Freebase-86m: network communication dominates "
+            "more than 70% of end-to-end training time (4 machines, 1 Gbps).",
+            "communication fraction is the majority of DGL-KE's time, "
+            "largest on the biggest graph",
+        ),
+        PaperReference(
+            "fig2",
+            "Fig. 2",
+            "FB15k: the top 1% of entities / relations by access frequency "
+            "account for ~6% / ~36% of embedding usage respectively.",
+            "relation accesses are far more concentrated than entity "
+            "accesses on every dataset",
+        ),
+        PaperReference(
+            "table2",
+            "Table II",
+            "FB15k: 14,951 / 1,345 / 592,213; WN18: 40,943 / 18 / 151,442; "
+            "Freebase-86m: 86,054,151 / 14,824 / 338,586,276 "
+            "(vertices / relations / edges).",
+            "synthetic stand-ins match the published counts (Freebase-86m "
+            "scaled down 1000x)",
+        ),
+        PaperReference(
+            "table3",
+            "Table III — FB15k",
+            "TransE (MRR/Hits@1/Hits@10/Time s): PBG 0.582/0.429/0.818/1047; "
+            "DGL-KE 0.570/0.433/0.799/484; HET-KG-C 0.569/0.429/0.804/466; "
+            "HET-KG-D 0.564/0.422/0.803/419. DistMult: PBG 0.681/.../1147; "
+            "DGL-KE 0.673/.../1167; HET-KG-C 0.642/.../732; HET-KG-D "
+            "0.662/.../742.",
+            "comparable accuracy across systems; time HET-KG < DGL-KE < PBG",
+        ),
+        PaperReference(
+            "table4",
+            "Table IV — WN18",
+            "TransE: PBG 0.722/0.545/0.936/477; DGL-KE 0.715/0.548/0.934/184; "
+            "HET-KG-C 0.720/0.552/0.955/163; HET-KG-D 0.719/0.552/0.954/168. "
+            "DistMult: PBG 0.889/.../1178; DGL-KE 0.881/.../258; HET-KG-C "
+            "0.877/.../252; HET-KG-D 0.885/.../251.",
+            "HET-KG fastest; with WN18's tiny relation vocabulary the cache "
+            "covers relation traffic almost entirely",
+        ),
+        PaperReference(
+            "table5",
+            "Table V — Freebase-86m",
+            "TransE (Time in minutes): PBG 0.669/0.602/0.805/1126; DGL-KE "
+            "0.671/0.599/0.809/313; HET-KG-C 0.678/0.608/0.831/313; HET-KG-D "
+            "0.677/0.605/0.813/305.",
+            "HET-KG matches or improves accuracy at lower time; DPS fastest "
+            "on the large skewed graph; headline speedups 3.7x (PBG) / "
+            "1.1x (DGL-KE)",
+        ),
+        PaperReference(
+            "fig5",
+            "Fig. 5",
+            "All systems converge to similar accuracy; HET-KG needs less "
+            "time to reach comparable accuracy; HET-KG-D best on "
+            "Freebase-86m.",
+            "HET-KG curves reach any fixed MRR earlier than the baselines",
+        ),
+        PaperReference(
+            "fig6",
+            "Fig. 6",
+            "PBG has limited scalability; DGL-KE and HET-KG speed up "
+            "markedly with workers; HET-KG's average acceleration ratio is "
+            "~30% higher than DGL-KE's.",
+            "PBG flattest; HET-KG's speedup curve sits above DGL-KE's",
+        ),
+        PaperReference(
+            "fig7",
+            "Fig. 7",
+            "DGL-KE and HET-KG have nearly identical computation time; "
+            "HET-KG's communication time is visibly lower; PBG's "
+            "communication far exceeds all others.",
+            "same three relationships per dataset",
+        ),
+        PaperReference(
+            "fig8a",
+            "Fig. 8(a)",
+            "Cache hit ratio first increases with cache size; MRR does not "
+            "change significantly.",
+            "hit ratio monotone in capacity; MRR flat",
+        ),
+        PaperReference(
+            "fig8b",
+            "Fig. 8(b)",
+            "MRR is not significantly affected for staleness P <= 8 and "
+            "decreases with further increase; performance (time) improves "
+            "as P grows.",
+            "time falls monotonically with P; MRR degrades only at large P",
+        ),
+        PaperReference(
+            "fig8c",
+            "Fig. 8(c)",
+            "Hit ratio increases then decreases with the entity ratio, "
+            "peaking at 25% entities (relations are denser).",
+            "interior peak at a low entity ratio",
+        ),
+        PaperReference(
+            "fig9",
+            "Fig. 9",
+            "Staleness 1 converges to MRR 0.67; staleness 128 to 0.59.",
+            "tight consistency converges at least as high as loose",
+        ),
+        PaperReference(
+            "table6",
+            "Table VI",
+            "Hit ratio (FIFO/LRU/Importance/HET-KG): FB15k 7.4/11.7/15.2/"
+            "25.2%; WN18 16.5/17.6/32.1/35.5%; Freebase-86m 6.6/8.6/34.3/"
+            "43.1%.",
+            "HET-KG > importance > LRU > FIFO on every dataset",
+        ),
+        PaperReference(
+            "table7",
+            "Table VII",
+            "FB15k: HET-KG 0.343/0.249/0.518/236.8s vs HET-KG-N 0.304/0.214/"
+            "0.472/227.2s; WN18: HET-KG 0.629/0.444/0.907/86.0s vs HET-KG-N "
+            "0.606/0.426/0.870/77.1s.",
+            "HET-KG-N is slightly faster but converges lower",
+        ),
+        PaperReference(
+            "ablation-partition",
+            "§V Graph Partitioning (claim adopted from DGL-KE)",
+            "METIS significantly reduces network communication for pulling "
+            "entity embeddings across machines compared to random "
+            "partitioning.",
+            "METIS cuts far fewer edges and communicates less",
+        ),
+        PaperReference(
+            "ablation-negatives",
+            "§V Negative Sampling",
+            "Batched (chunked) negative sampling reduces sampling complexity "
+            "from O(b_p d (b_n+1)) to O(b_p d + b_p k d / b_c).",
+            "chunked sampling touches far fewer unique entities per batch",
+        ),
+        PaperReference(
+            "ablation-dps-window",
+            "(design study, §IV-B)",
+            "DPS prefetches D iterations; small D tracks short-term access "
+            "patterns (higher hit ratio) at recurring rebuild cost.",
+            "hit ratio falls slowly as D grows towards CPS behaviour",
+        ),
+        PaperReference(
+            "ablation-policies-extended",
+            "(extension of Table VI)",
+            "n/a — the paper compares FIFO/LRU/importance only.",
+            "HET-KG's prefetch cache beats even adaptive reactive policies "
+            "(CLOCK, 2Q, ARC)",
+        ),
+        PaperReference(
+            "ablation-model-zoo",
+            "(extension beyond the paper)",
+            "n/a — the paper evaluates TransE and DistMult.",
+            "every registered score function trains through the identical "
+            "cached distributed stack",
+        ),
+        PaperReference(
+            "ablation-compression",
+            "(extension beyond the paper)",
+            "n/a — lossy wire codecs are an orthogonal lever the paper does "
+            "not evaluate.",
+            "fp16/int8 halve/quarter remote bytes with negligible MRR cost",
+        ),
+    ]
+}

@@ -1,0 +1,66 @@
+"""Registry mapping paper experiment ids to runner functions."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.ablations import (
+    run_ablation_compression,
+    run_model_zoo,
+    run_ablation_dps_window,
+    run_ablation_negatives,
+    run_ablation_partition,
+)
+from repro.experiments.accuracy import run_table3, run_table4, run_table5
+from repro.experiments.cache_study import (
+    run_fig8a,
+    run_fig8b,
+    run_fig8c,
+    run_fig9,
+    run_policies_extended,
+    run_table6,
+    run_table7,
+)
+from repro.experiments.common import ExperimentResult
+from repro.experiments.efficiency import run_fig5, run_fig6, run_fig7
+from repro.experiments.microbench import run_fig2, run_table1, run_table2
+
+#: Every reproducible table/figure, keyed by the paper's numbering.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": run_table1,
+    "fig2": run_fig2,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8a": run_fig8a,
+    "fig8b": run_fig8b,
+    "fig8c": run_fig8c,
+    "fig9": run_fig9,
+    "table6": run_table6,
+    "table7": run_table7,
+    "ablation-partition": run_ablation_partition,
+    "ablation-negatives": run_ablation_negatives,
+    "ablation-dps-window": run_ablation_dps_window,
+    "ablation-compression": run_ablation_compression,
+    "ablation-policies-extended": run_policies_extended,
+    "ablation-model-zoo": run_model_zoo,
+}
+
+
+def get_experiment(name: str) -> Callable[..., ExperimentResult]:
+    """Look up a runner by id (e.g. ``"table3"``)."""
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def list_experiments() -> list[str]:
+    """All experiment ids, tables/figures first, ablations last."""
+    return sorted(EXPERIMENTS)

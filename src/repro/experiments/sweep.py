@@ -1,0 +1,95 @@
+"""Generic hyperparameter sweeps over the training configuration.
+
+The paper's Fig. 8 runs one-dimensional sweeps; this utility generalises
+the pattern so users can sweep any ``TrainingConfig`` field (or a grid of
+several) on any dataset and system, getting back one record per
+configuration with the standard outcome metrics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.config import TrainingConfig
+from repro.core.trainer import make_trainer
+from repro.kg.splits import Split
+from repro.utils.tables import format_table
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one sweep: one record (dict) per configuration."""
+
+    parameters: list[str]
+    records: list[dict[str, Any]] = field(default_factory=list)
+
+    #: Metrics every record carries.
+    METRICS = ("mrr", "hits@10", "sim_time", "communication_time", "cache_hit_ratio")
+
+    def column(self, name: str) -> list[Any]:
+        return [record[name] for record in self.records]
+
+    def best(self, metric: str = "mrr", minimize: bool = False) -> dict[str, Any]:
+        """The record with the best value of ``metric``."""
+        if not self.records:
+            raise ValueError("sweep produced no records")
+        chooser = min if minimize else max
+        return chooser(self.records, key=lambda rec: rec[metric])
+
+    def to_text(self, precision: int = 3) -> str:
+        headers = self.parameters + list(self.METRICS)
+        rows = [[rec[h] for h in headers] for rec in self.records]
+        return format_table(headers, rows, title="sweep results", precision=precision)
+
+
+def run_sweep(
+    system: str,
+    config: TrainingConfig,
+    split: Split,
+    grid: dict[str, Sequence[Any]],
+    filter_set: set[tuple[int, int, int]] | None = None,
+    eval_max_queries: int = 150,
+    eval_candidates: int | None = 500,
+) -> SweepResult:
+    """Train ``system`` once per point of the cartesian ``grid``.
+
+    Parameters
+    ----------
+    grid:
+        Mapping of ``TrainingConfig`` field name -> values to try.  The
+        sweep runs the full cartesian product, in deterministic order.
+    """
+    if not grid:
+        raise ValueError("grid must name at least one parameter")
+    for name in grid:
+        if not hasattr(config, name):
+            raise ValueError(f"unknown TrainingConfig field {name!r}")
+        if not len(grid[name]):
+            raise ValueError(f"no values given for parameter {name!r}")
+
+    parameters = list(grid)
+    result = SweepResult(parameters=parameters)
+    for combo in itertools.product(*(grid[name] for name in parameters)):
+        overrides = dict(zip(parameters, combo))
+        trainer = make_trainer(system, config.with_overrides(**overrides))
+        outcome = trainer.train(
+            split.train,
+            eval_graph=split.test,
+            filter_set=filter_set,
+            eval_max_queries=eval_max_queries,
+            eval_candidates=eval_candidates,
+        )
+        record: dict[str, Any] = dict(overrides)
+        record.update(
+            {
+                "mrr": outcome.final_metrics.get("mrr", 0.0),
+                "hits@10": outcome.final_metrics.get("hits@10", 0.0),
+                "sim_time": outcome.sim_time,
+                "communication_time": outcome.communication_time,
+                "cache_hit_ratio": outcome.cache_hit_ratio,
+            }
+        )
+        result.records.append(record)
+    return result

@@ -1,0 +1,58 @@
+"""Knowledge graph substrate: triple store, datasets, splits, statistics."""
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.datasets import (
+    DatasetSpec,
+    FB15K_SPEC,
+    WN18_SPEC,
+    FREEBASE86M_SPEC,
+    generate_dataset,
+    load_tsv,
+    save_tsv,
+)
+from repro.kg.splits import Split, split_triples
+from repro.kg.stats import (
+    access_frequencies,
+    top_fraction_share,
+    frequency_skew_report,
+)
+from repro.kg.analytics import (
+    GraphSummary,
+    summarize,
+    powerlaw_alpha_mle,
+    hot_set_coverage,
+)
+from repro.kg.transforms import (
+    add_inverse_relations,
+    deduplicate,
+    k_core,
+    relabel_by_degree,
+    remove_self_loops,
+    subsample_triples,
+)
+
+__all__ = [
+    "KnowledgeGraph",
+    "DatasetSpec",
+    "FB15K_SPEC",
+    "WN18_SPEC",
+    "FREEBASE86M_SPEC",
+    "generate_dataset",
+    "load_tsv",
+    "save_tsv",
+    "Split",
+    "split_triples",
+    "access_frequencies",
+    "top_fraction_share",
+    "frequency_skew_report",
+    "GraphSummary",
+    "summarize",
+    "powerlaw_alpha_mle",
+    "hot_set_coverage",
+    "add_inverse_relations",
+    "deduplicate",
+    "k_core",
+    "relabel_by_degree",
+    "remove_self_loops",
+    "subsample_triples",
+]

@@ -1,0 +1,161 @@
+"""In-memory knowledge graph: a set of (head, relation, tail) triples.
+
+The graph is stored as a single ``(n, 3)`` int64 array plus optional string
+vocabularies.  All downstream components (samplers, partitioners, trainers)
+work on integer ids; string labels exist only for I/O and display.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+#: Column indices into the triple array.
+HEAD, REL, TAIL = 0, 1, 2
+
+
+class KnowledgeGraph:
+    """A knowledge graph ``G = {(h, r, t)}`` over integer entity/relation ids.
+
+    Parameters
+    ----------
+    triples:
+        ``(n, 3)`` integer array of ``(head, relation, tail)`` rows.
+    num_entities, num_relations:
+        Vocabulary sizes.  If omitted they are inferred as ``max id + 1``,
+        which is wrong for graphs with isolated trailing entities — pass them
+        explicitly when known.
+    entity_labels, relation_labels:
+        Optional human-readable names, index-aligned with ids.
+    """
+
+    def __init__(
+        self,
+        triples: np.ndarray | Sequence[tuple[int, int, int]],
+        num_entities: int | None = None,
+        num_relations: int | None = None,
+        entity_labels: list[str] | None = None,
+        relation_labels: list[str] | None = None,
+    ) -> None:
+        triples = np.asarray(triples, dtype=np.int64)
+        if triples.size == 0:
+            triples = triples.reshape(0, 3)
+        if triples.ndim != 2 or triples.shape[1] != 3:
+            raise ValueError(f"triples must have shape (n, 3), got {triples.shape}")
+        if triples.size and triples.min() < 0:
+            raise ValueError("triple ids must be non-negative")
+        self.triples = triples
+
+        max_ent = int(max(triples[:, HEAD].max(), triples[:, TAIL].max())) + 1 if len(triples) else 0
+        max_rel = int(triples[:, REL].max()) + 1 if len(triples) else 0
+        self.num_entities = max_ent if num_entities is None else int(num_entities)
+        self.num_relations = max_rel if num_relations is None else int(num_relations)
+        if self.num_entities < max_ent:
+            raise ValueError(
+                f"num_entities={self.num_entities} smaller than max entity id + 1 = {max_ent}"
+            )
+        if self.num_relations < max_rel:
+            raise ValueError(
+                f"num_relations={self.num_relations} smaller than max relation id + 1 = {max_rel}"
+            )
+
+        if entity_labels is not None and len(entity_labels) != self.num_entities:
+            raise ValueError("entity_labels length must equal num_entities")
+        if relation_labels is not None and len(relation_labels) != self.num_relations:
+            raise ValueError("relation_labels length must equal num_relations")
+        self.entity_labels = entity_labels
+        self.relation_labels = relation_labels
+
+        self._triple_set: set[tuple[int, int, int]] | None = None
+
+    # ------------------------------------------------------------------ basic
+
+    @property
+    def num_triples(self) -> int:
+        return len(self.triples)
+
+    def __len__(self) -> int:
+        return len(self.triples)
+
+    def __iter__(self) -> Iterator[tuple[int, int, int]]:
+        for h, r, t in self.triples:
+            yield int(h), int(r), int(t)
+
+    def __contains__(self, triple: tuple[int, int, int]) -> bool:
+        return tuple(int(x) for x in triple) in self.triple_set()
+
+    def __repr__(self) -> str:
+        return (
+            f"KnowledgeGraph(entities={self.num_entities}, "
+            f"relations={self.num_relations}, triples={self.num_triples})"
+        )
+
+    def triple_set(self) -> set[tuple[int, int, int]]:
+        """Set view of the triples, built lazily (used for filtered ranking)."""
+        if self._triple_set is None:
+            self._triple_set = {
+                (int(h), int(r), int(t)) for h, r, t in self.triples
+            }
+        return self._triple_set
+
+    # -------------------------------------------------------------- structure
+
+    def entity_degrees(self) -> np.ndarray:
+        """Undirected degree of every entity (head + tail appearances)."""
+        degrees = np.zeros(self.num_entities, dtype=np.int64)
+        if len(self.triples):
+            np.add.at(degrees, self.triples[:, HEAD], 1)
+            np.add.at(degrees, self.triples[:, TAIL], 1)
+        return degrees
+
+    def relation_counts(self) -> np.ndarray:
+        """Number of triples using each relation."""
+        counts = np.zeros(self.num_relations, dtype=np.int64)
+        if len(self.triples):
+            np.add.at(counts, self.triples[:, REL], 1)
+        return counts
+
+    def adjacency(self) -> dict[int, list[int]]:
+        """Undirected entity adjacency list (used by the partitioner)."""
+        adj: dict[int, list[int]] = defaultdict(list)
+        for h, _, t in self.triples:
+            h, t = int(h), int(t)
+            if h != t:
+                adj[h].append(t)
+                adj[t].append(h)
+        return adj
+
+    def subgraph(self, triple_indices: np.ndarray) -> "KnowledgeGraph":
+        """A graph over the same vocabularies containing only the given rows."""
+        return KnowledgeGraph(
+            self.triples[np.asarray(triple_indices, dtype=np.int64)],
+            num_entities=self.num_entities,
+            num_relations=self.num_relations,
+            entity_labels=self.entity_labels,
+            relation_labels=self.relation_labels,
+        )
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def from_labeled_triples(
+        cls, labeled: Iterable[tuple[str, str, str]]
+    ) -> "KnowledgeGraph":
+        """Build a graph from string triples, assigning ids in first-seen order."""
+        ent_ids: dict[str, int] = {}
+        rel_ids: dict[str, int] = {}
+        rows = []
+        for h, r, t in labeled:
+            hid = ent_ids.setdefault(h, len(ent_ids))
+            rid = rel_ids.setdefault(r, len(rel_ids))
+            tid = ent_ids.setdefault(t, len(ent_ids))
+            rows.append((hid, rid, tid))
+        return cls(
+            np.asarray(rows, dtype=np.int64).reshape(-1, 3),
+            num_entities=len(ent_ids),
+            num_relations=len(rel_ids),
+            entity_labels=list(ent_ids),
+            relation_labels=list(rel_ids),
+        )

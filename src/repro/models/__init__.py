@@ -1,0 +1,51 @@
+"""Knowledge graph embedding models.
+
+Translational-distance family: TransE, TransH, TransR, TransD.
+Semantic-matching family: RESCAL, DistMult, ComplEx, HolE, SimplE.
+Rotation family: RotatE, QuatE (quaternion).
+
+All models implement :class:`repro.models.base.KGEModel`: a score function
+over ``(head, relation, tail)`` embedding rows plus analytic gradients, so
+trainers never need autodiff.
+"""
+
+from repro.models.base import KGEModel, get_model, register_model, MODEL_REGISTRY
+from repro.models.transe import TransE
+from repro.models.transh import TransH
+from repro.models.transr import TransR
+from repro.models.transd import TransD
+from repro.models.distmult import DistMult
+from repro.models.rescal import RESCAL
+from repro.models.complex_ import ComplEx
+from repro.models.hole import HolE
+from repro.models.rotate import RotatE
+from repro.models.simple_ import SimplE
+from repro.models.quate import QuatE
+from repro.models.losses import (
+    LogisticLoss,
+    MarginRankingLoss,
+    SelfAdversarialLoss,
+    get_loss,
+)
+
+__all__ = [
+    "KGEModel",
+    "get_model",
+    "register_model",
+    "MODEL_REGISTRY",
+    "TransE",
+    "TransH",
+    "TransR",
+    "TransD",
+    "DistMult",
+    "RESCAL",
+    "ComplEx",
+    "HolE",
+    "RotatE",
+    "SimplE",
+    "QuatE",
+    "LogisticLoss",
+    "MarginRankingLoss",
+    "SelfAdversarialLoss",
+    "get_loss",
+]

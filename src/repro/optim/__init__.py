@@ -1,0 +1,16 @@
+"""Sparse optimizers applied to embedding tables row-by-row."""
+
+from repro.optim.base import SparseOptimizer
+from repro.optim.adagrad import SparseAdagrad
+from repro.optim.sgd import SparseSGD
+
+__all__ = ["SparseOptimizer", "SparseAdagrad", "SparseSGD"]
+
+
+def get_optimizer(name: str, lr: float, **kwargs) -> SparseOptimizer:
+    """Instantiate an optimizer by name (``"adagrad"`` or ``"sgd"``)."""
+    if name == "adagrad":
+        return SparseAdagrad(lr, **kwargs)
+    if name == "sgd":
+        return SparseSGD(lr, **kwargs)
+    raise KeyError(f"unknown optimizer {name!r}; available: ['adagrad', 'sgd']")

@@ -1,0 +1,61 @@
+"""Sparse AdaGrad [Duchi et al., JMLR 2011].
+
+The paper's server-side optimizer (Algorithm 4): per-element accumulated
+squared gradients divide the learning rate, so frequently-updated hot
+embeddings take smaller steps.  State is allocated lazily per table, which
+matches the paper's note that AdaGrad "needs to save the historical
+gradients of each parameter separately, which increases the memory usage".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import SparseOptimizer, coalesce
+
+
+class SparseAdagrad(SparseOptimizer):
+    """AdaGrad over sparse rows of named tables.
+
+    Parameters
+    ----------
+    lr:
+        Base learning rate ``eta``.
+    eps:
+        Numerical floor inside the square root.
+    """
+
+    def __init__(self, lr: float, eps: float = 1e-10) -> None:
+        super().__init__(lr)
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.eps = eps
+        self._accumulators: dict[str, np.ndarray] = {}
+
+    def _accumulator_for(self, table_name: str, table: np.ndarray) -> np.ndarray:
+        acc = self._accumulators.get(table_name)
+        if acc is None or acc.shape != table.shape:
+            acc = np.zeros_like(table)
+            self._accumulators[table_name] = acc
+        return acc
+
+    def update(
+        self,
+        table_name: str,
+        table: np.ndarray,
+        row_ids: np.ndarray,
+        grads: np.ndarray,
+    ) -> None:
+        if len(row_ids) == 0:
+            return
+        ids, g = coalesce(row_ids, grads)
+        acc = self._accumulator_for(table_name, table)
+        acc[ids] += g * g
+        table[ids] -= self.lr * g / np.sqrt(acc[ids] + self.eps)
+
+    def state_size(self) -> int:
+        return int(sum(acc.size for acc in self._accumulators.values()))
+
+    def reset(self) -> None:
+        """Drop all accumulated state (fresh training run)."""
+        self._accumulators.clear()

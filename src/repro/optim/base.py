@@ -1,0 +1,59 @@
+"""Sparse optimizer interface.
+
+An optimizer updates selected *rows* of an embedding table in place given
+row gradients — the access pattern of PS-based KGE training, where each
+mini-batch touches a tiny fraction of the table.  Optimizer state (e.g.
+AdaGrad accumulators) is keyed per table so one optimizer instance can
+serve both the entity and relation tables of a server shard.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class SparseOptimizer(ABC):
+    """Applies sparse row updates to named embedding tables."""
+
+    def __init__(self, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    @abstractmethod
+    def update(
+        self,
+        table_name: str,
+        table: np.ndarray,
+        row_ids: np.ndarray,
+        grads: np.ndarray,
+    ) -> None:
+        """Apply one gradient step to ``table[row_ids]`` in place.
+
+        ``row_ids`` may contain duplicates (the same embedding touched by
+        several triples in a batch); implementations must accumulate those
+        contributions rather than letting the last write win.
+        """
+
+    @abstractmethod
+    def state_size(self) -> int:
+        """Total number of state floats held (for memory accounting)."""
+
+
+def coalesce(
+    row_ids: np.ndarray, grads: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sum gradient rows that target the same id.
+
+    Returns ``(unique_ids, summed_grads)``.  This mirrors what dense
+    frameworks do for sparse gradients and is required for correctness with
+    fancy-indexed in-place updates (``table[ids] -= g`` drops duplicate
+    contributions).
+    """
+    row_ids = np.asarray(row_ids, dtype=np.int64)
+    unique, inverse = np.unique(row_ids, return_inverse=True)
+    summed = np.zeros((len(unique), grads.shape[1]), dtype=grads.dtype)
+    np.add.at(summed, inverse, grads)
+    return unique, summed

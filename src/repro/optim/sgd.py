@@ -1,0 +1,28 @@
+"""Plain sparse SGD — the baseline optimizer the paper compares AdaGrad
+against ("based on past experience, [AdaGrad] can get embeddings of greater
+quality than SGD")."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import SparseOptimizer, coalesce
+
+
+class SparseSGD(SparseOptimizer):
+    """Stateless sparse gradient descent."""
+
+    def update(
+        self,
+        table_name: str,
+        table: np.ndarray,
+        row_ids: np.ndarray,
+        grads: np.ndarray,
+    ) -> None:
+        if len(row_ids) == 0:
+            return
+        ids, g = coalesce(row_ids, grads)
+        table[ids] -= self.lr * g
+
+    def state_size(self) -> int:
+        return 0

@@ -1,0 +1,22 @@
+"""Graph partitioning substrate.
+
+HET-KG (following DGL-KE) partitions the knowledge graph across machines
+with METIS to minimise cross-machine entity accesses.  This package provides
+a METIS-style multilevel k-way partitioner plus a random baseline and
+quality metrics (edge cut, balance).
+"""
+
+from repro.partition.base import Partition, Partitioner
+from repro.partition.random_partition import RandomPartitioner
+from repro.partition.metis import MetisPartitioner
+from repro.partition.quality import edge_cut, cut_fraction, balance
+
+__all__ = [
+    "Partition",
+    "Partitioner",
+    "RandomPartitioner",
+    "MetisPartitioner",
+    "edge_cut",
+    "cut_fraction",
+    "balance",
+]

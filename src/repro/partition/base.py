@@ -1,0 +1,77 @@
+"""Partitioner interface and the Partition result object.
+
+A partition assigns every *entity* to one of ``k`` parts (machines).  Each
+triple is then assigned to the part owning its head entity, so each worker
+trains on a local subgraph while tail entities may live remotely — exactly
+the local/cross triple distinction in §V of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.kg.graph import HEAD, KnowledgeGraph
+
+
+@dataclass
+class Partition:
+    """Result of partitioning a knowledge graph into ``k`` parts.
+
+    Attributes
+    ----------
+    entity_part:
+        ``(num_entities,)`` array mapping entity id -> part id.
+    triple_part:
+        ``(num_triples,)`` array mapping triple index -> part id (the part
+        of the triple's head entity).
+    k:
+        Number of parts.
+    """
+
+    entity_part: np.ndarray
+    triple_part: np.ndarray
+    k: int
+
+    def __post_init__(self) -> None:
+        self.entity_part = np.asarray(self.entity_part, dtype=np.int64)
+        self.triple_part = np.asarray(self.triple_part, dtype=np.int64)
+        for name, arr in (("entity_part", self.entity_part), ("triple_part", self.triple_part)):
+            if arr.size and (arr.min() < 0 or arr.max() >= self.k):
+                raise ValueError(f"{name} contains part ids outside [0, {self.k})")
+
+    def entities_of(self, part: int) -> np.ndarray:
+        """Entity ids owned by ``part``."""
+        return np.nonzero(self.entity_part == part)[0]
+
+    def triples_of(self, part: int) -> np.ndarray:
+        """Triple indices assigned to ``part``."""
+        return np.nonzero(self.triple_part == part)[0]
+
+    def part_sizes(self) -> np.ndarray:
+        """Entity count per part."""
+        return np.bincount(self.entity_part, minlength=self.k)
+
+
+class Partitioner(Protocol):
+    """Anything that can split a knowledge graph into ``k`` parts."""
+
+    def partition(self, graph: KnowledgeGraph, k: int) -> Partition: ...
+
+
+def assign_triples(graph: KnowledgeGraph, entity_part: np.ndarray, k: int) -> Partition:
+    """Build a full :class:`Partition` from an entity assignment.
+
+    Triples follow their head entity, mirroring DGL-KE's layout where a
+    worker's local subgraph is the set of triples whose head it owns.
+    """
+    entity_part = np.asarray(entity_part, dtype=np.int64)
+    if len(entity_part) != graph.num_entities:
+        raise ValueError(
+            f"entity_part has {len(entity_part)} entries for "
+            f"{graph.num_entities} entities"
+        )
+    triple_part = entity_part[graph.triples[:, HEAD]] if len(graph.triples) else np.zeros(0, dtype=np.int64)
+    return Partition(entity_part=entity_part, triple_part=triple_part, k=k)

@@ -1,0 +1,38 @@
+"""Partition quality metrics: edge cut and balance."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kg.graph import HEAD, TAIL, KnowledgeGraph
+from repro.partition.base import Partition
+
+
+def edge_cut(graph: KnowledgeGraph, partition: Partition) -> int:
+    """Number of triples whose head and tail live on different parts."""
+    if not len(graph.triples):
+        return 0
+    head_part = partition.entity_part[graph.triples[:, HEAD]]
+    tail_part = partition.entity_part[graph.triples[:, TAIL]]
+    return int(np.count_nonzero(head_part != tail_part))
+
+
+def cut_fraction(graph: KnowledgeGraph, partition: Partition) -> float:
+    """Edge cut as a fraction of all triples (0 = perfectly local)."""
+    n = graph.num_triples
+    if n == 0:
+        return 0.0
+    return edge_cut(graph, partition) / n
+
+
+def balance(partition: Partition) -> float:
+    """Largest part size over the ideal size (1.0 = perfectly balanced).
+
+    METIS's default tolerance corresponds to a balance of about 1.05.
+    """
+    sizes = partition.part_sizes()
+    total = sizes.sum()
+    if total == 0:
+        return 1.0
+    ideal = total / partition.k
+    return float(sizes.max() / ideal)

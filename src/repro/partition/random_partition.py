@@ -1,0 +1,28 @@
+"""Random entity partitioning — the baseline METIS is compared against."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.partition.base import Partition, assign_triples
+from repro.utils.rng import make_rng
+
+
+class RandomPartitioner:
+    """Assign entities to parts uniformly at random (balanced).
+
+    Entities are dealt round-robin over a random permutation, so part sizes
+    differ by at most one.
+    """
+
+    def __init__(self, seed: int | np.random.Generator | None = None) -> None:
+        self._rng = make_rng(seed)
+
+    def partition(self, graph: KnowledgeGraph, k: int) -> Partition:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        order = self._rng.permutation(graph.num_entities)
+        entity_part = np.empty(graph.num_entities, dtype=np.int64)
+        entity_part[order] = np.arange(graph.num_entities) % k
+        return assign_triples(graph, entity_part, k)

@@ -1,0 +1,22 @@
+"""Parameter-server substrate: sharded embedding storage over a simulated
+cluster network.
+
+The co-located PS architecture of the paper: every machine runs both a
+server shard (owning a slice of the embeddings) and a worker.  Workers pull
+embedding rows and push gradients; accesses to the local shard go through
+"shared memory" (cheap), accesses to other machines cross the simulated
+1 Gbps network (expensive).  All traffic is metered, which is what produces
+the paper's communication-time results.
+"""
+
+from repro.ps.network import NetworkModel, ComputeModel, CommRecord
+from repro.ps.kvstore import ShardedKVStore
+from repro.ps.server import ParameterServer
+
+__all__ = [
+    "NetworkModel",
+    "ComputeModel",
+    "CommRecord",
+    "ShardedKVStore",
+    "ParameterServer",
+]

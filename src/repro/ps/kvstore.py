@@ -1,0 +1,106 @@
+"""Sharded key-value store for embedding tables.
+
+Reimplements (in process) the C++ KVStore DGL provides: the full entity and
+relation tables are split across machines; every row has one owner machine.
+Entity rows are owned by the machine METIS assigned the entity to (the
+co-located layout of §V); relation rows are dealt round-robin since
+relations are global.
+
+The store itself is storage + ownership only; traffic metering and
+optimizer application live in :class:`repro.ps.server.ParameterServer`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+#: Table kinds recognised by the store.
+ENTITY, RELATION = "entity", "relation"
+
+
+class ShardedKVStore:
+    """Embedding tables plus a row->machine ownership map.
+
+    Parameters
+    ----------
+    entity_table, relation_table:
+        Dense ``(count, width)`` arrays holding all embeddings.  (Stored
+        dense for simplicity; ownership determines simulated placement.)
+    entity_owner:
+        ``(num_entities,)`` machine id per entity row.
+    num_machines:
+        Cluster size; relation rows are assigned ``id % num_machines``.
+    """
+
+    def __init__(
+        self,
+        entity_table: np.ndarray,
+        relation_table: np.ndarray,
+        entity_owner: np.ndarray,
+        num_machines: int,
+    ) -> None:
+        check_positive("num_machines", num_machines)
+        entity_owner = np.asarray(entity_owner, dtype=np.int64)
+        if len(entity_owner) != len(entity_table):
+            raise ValueError(
+                f"entity_owner has {len(entity_owner)} entries for "
+                f"{len(entity_table)} entity rows"
+            )
+        if entity_owner.size and (
+            entity_owner.min() < 0 or entity_owner.max() >= num_machines
+        ):
+            raise ValueError("entity_owner contains machine ids out of range")
+        self._tables = {ENTITY: entity_table, RELATION: relation_table}
+        self._owners = {
+            ENTITY: entity_owner,
+            RELATION: np.arange(len(relation_table), dtype=np.int64) % num_machines,
+        }
+        self.num_machines = num_machines
+
+    # ----------------------------------------------------------------- access
+
+    def table(self, kind: str) -> np.ndarray:
+        """The backing array for ``kind`` (``"entity"`` or ``"relation"``)."""
+        try:
+            return self._tables[kind]
+        except KeyError:
+            raise KeyError(f"unknown table kind {kind!r}") from None
+
+    def owners(self, kind: str, ids: np.ndarray) -> np.ndarray:
+        """Owner machine of each row in ``ids``."""
+        return self._owners[kind][np.asarray(ids, dtype=np.int64)]
+
+    def row_width(self, kind: str) -> int:
+        return self.table(kind).shape[1]
+
+    def read(self, kind: str, ids: np.ndarray) -> np.ndarray:
+        """Copy of the rows ``ids`` (a pull's payload)."""
+        return self.table(kind)[np.asarray(ids, dtype=np.int64)].copy()
+
+    def write(self, kind: str, ids: np.ndarray, rows: np.ndarray) -> None:
+        """Overwrite rows (used for checkpoint restore, not training)."""
+        self.table(kind)[np.asarray(ids, dtype=np.int64)] = rows
+
+    # ------------------------------------------------------------ bookkeeping
+
+    def split_local_remote(
+        self, kind: str, ids: np.ndarray, machine: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Partition ``ids`` into (local-to-machine, remote) sub-arrays."""
+        ids = np.asarray(ids, dtype=np.int64)
+        owners = self.owners(kind, ids)
+        local_mask = owners == machine
+        return ids[local_mask], ids[~local_mask]
+
+    def remote_machine_count(self, kind: str, ids: np.ndarray, machine: int) -> int:
+        """Number of distinct remote machines holding rows in ``ids``."""
+        ids = np.asarray(ids, dtype=np.int64)
+        owners = self.owners(kind, ids)
+        others = np.unique(owners[owners != machine])
+        return len(others)
+
+    def memory_bytes(self) -> int:
+        """Total embedding storage in bytes (for capacity reports)."""
+        return int(sum(t.nbytes for t in self._tables.values()))

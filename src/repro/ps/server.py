@@ -1,0 +1,119 @@
+"""Parameter server: metered pull/push over the sharded KVStore.
+
+Implements the server side of the paper's Algorithm 4:
+
+* ``pull``  — return the latest embedding rows for a set of ids
+  (``localPull``/``remotePull`` folded into one call that meters local and
+  remote traffic separately).
+* ``push``  — receive gradients and immediately apply the server-side
+  optimizer (sparse AdaGrad), i.e. the asynchronous-parallel protocol: no
+  barrier, gradients update the global tables as they arrive.
+
+Every call returns a :class:`~repro.ps.network.CommRecord`; the caller
+(worker) converts it to simulated seconds via its machine's
+:class:`~repro.ps.network.NetworkModel` and advances its clock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import SparseOptimizer
+from repro.ps.compression import Compressor, NoCompression
+from repro.ps.kvstore import ShardedKVStore
+from repro.ps.network import BYTES_PER_ELEMENT, CommRecord
+
+
+class ParameterServer:
+    """Global embedding state shared by all simulated machines.
+
+    Parameters
+    ----------
+    store:
+        The sharded tables with ownership.
+    optimizer:
+        Server-side optimizer applied on push (the paper uses AdaGrad).
+    byte_scale:
+        Multiplier applied to metered bytes.  Used to charge traffic at the
+        paper's embedding dimension (d = 400) while the actual tables stay
+        small for tractability; see ``TrainingConfig.wire_dim``.
+    compressor:
+        Optional lossy wire codec applied to *remote* transfers only
+        (local shared-memory access moves raw float64 rows).  Shrinks
+        metered remote bytes by the codec's factor and injects the codec's
+        quantization error into remote payloads.
+    """
+
+    def __init__(
+        self,
+        store: ShardedKVStore,
+        optimizer: SparseOptimizer,
+        byte_scale: float = 1.0,
+        compressor: Compressor | None = None,
+    ) -> None:
+        if byte_scale <= 0:
+            raise ValueError(f"byte_scale must be positive, got {byte_scale}")
+        self.store = store
+        self.optimizer = optimizer
+        self.byte_scale = byte_scale
+        self.compressor = compressor if compressor is not None else NoCompression()
+        #: Monotone update counter, bumped once per push; used by caches to
+        #: reason about staleness.
+        self.version = 0
+
+    # ------------------------------------------------------------------ pulls
+
+    def pull(
+        self, kind: str, ids: np.ndarray, machine: int
+    ) -> tuple[np.ndarray, CommRecord]:
+        """Fetch rows ``ids`` for a worker on ``machine``.
+
+        Returns ``(rows, comm)`` where ``comm`` meters the bytes that came
+        from the local shard vs over the network.  Rows are returned in the
+        order of ``ids``.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        rows = self.store.read(kind, ids)
+        remote = self.store.owners(kind, ids) != machine
+        if remote.any():
+            rows[remote] = self.compressor.roundtrip(rows[remote])
+        comm = self._meter(kind, ids, machine)
+        return rows, comm
+
+    # ----------------------------------------------------------------- pushes
+
+    def push(
+        self, kind: str, ids: np.ndarray, grads: np.ndarray, machine: int
+    ) -> CommRecord:
+        """Send gradients for rows ``ids``; the server applies the optimizer
+        immediately (asynchronous protocol, no barrier)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if len(ids) != len(grads):
+            raise ValueError(
+                f"push got {len(ids)} ids but {len(grads)} gradient rows"
+            )
+        comm = self._meter(kind, ids, machine)
+        remote = self.store.owners(kind, ids) != machine
+        if remote.any():
+            grads = np.asarray(grads, dtype=np.float64).copy()
+            grads[remote] = self.compressor.roundtrip(grads[remote])
+        self.optimizer.update(kind, self.store.table(kind), ids, grads)
+        self.version += 1
+        return comm
+
+    # ---------------------------------------------------------------- private
+
+    def _meter(self, kind: str, ids: np.ndarray, machine: int) -> CommRecord:
+        """Byte/message accounting for moving rows ``ids`` to/from
+        ``machine``.  One message per contacted server shard."""
+        row_bytes = self.store.row_width(kind) * BYTES_PER_ELEMENT * self.byte_scale
+        local_ids, remote_ids = self.store.split_local_remote(kind, ids, machine)
+        remote_shards = self.store.remote_machine_count(kind, ids, machine)
+        return CommRecord(
+            local_bytes=int(len(local_ids) * row_bytes),
+            remote_bytes=int(
+                len(remote_ids) * row_bytes * self.compressor.byte_factor
+            ),
+            local_messages=1 if len(local_ids) else 0,
+            remote_messages=remote_shards,
+        )

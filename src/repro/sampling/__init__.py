@@ -1,0 +1,6 @@
+"""Mini-batch and negative sampling over partitioned knowledge graphs."""
+
+from repro.sampling.negative import NegativeSampler, MiniBatch
+from repro.sampling.minibatch import EpochSampler
+
+__all__ = ["NegativeSampler", "MiniBatch", "EpochSampler"]

@@ -1,0 +1,96 @@
+"""Epoch-level mini-batch iteration over a worker's local subgraph.
+
+The sampler shuffles the worker's triple indices each epoch and yields
+fixed-size positive batches.  It also supports *prefetching* — producing
+the next ``D`` iterations' batches up front — which is the substrate of
+the paper's Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.sampling.negative import MiniBatch, NegativeSampler
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive
+
+
+class EpochSampler:
+    """Yields :class:`MiniBatch` objects over a local subgraph.
+
+    Parameters
+    ----------
+    graph:
+        The worker's local partition of the training triples.
+    batch_size:
+        Positives per batch (``b`` in the paper's Table II).
+    negative_sampler:
+        Corruption strategy shared across batches.
+    drop_last:
+        Drop a trailing batch smaller than ``batch_size`` (default keeps it).
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        batch_size: int,
+        negative_sampler: NegativeSampler,
+        drop_last: bool = False,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        check_positive("batch_size", batch_size)
+        self.graph = graph
+        self.batch_size = batch_size
+        self.negative_sampler = negative_sampler
+        self.drop_last = drop_last
+        self._rng = make_rng(seed)
+        self._order: np.ndarray = np.empty(0, dtype=np.int64)
+        self._cursor = 0
+
+    # ----------------------------------------------------------------- sizing
+
+    @property
+    def batches_per_epoch(self) -> int:
+        n = self.graph.num_triples
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    # -------------------------------------------------------------- iteration
+
+    def _reshuffle(self) -> None:
+        self._order = self._rng.permutation(self.graph.num_triples)
+        self._cursor = 0
+
+    def next_batch(self) -> MiniBatch:
+        """Produce the next batch, reshuffling at epoch boundaries."""
+        if self.graph.num_triples == 0:
+            raise ValueError("cannot sample from an empty subgraph")
+        if self._cursor >= len(self._order):
+            self._reshuffle()
+        remaining = len(self._order) - self._cursor
+        if self.drop_last and remaining < self.batch_size:
+            self._reshuffle()
+        take = min(self.batch_size, len(self._order) - self._cursor)
+        idx = self._order[self._cursor : self._cursor + take]
+        self._cursor += take
+        positives = self.graph.triples[idx]
+        return self.negative_sampler.corrupt(positives)
+
+    def prefetch(self, count: int) -> list[MiniBatch]:
+        """Produce the next ``count`` batches eagerly (Algorithm 1's input).
+
+        The returned batches are exactly the ones subsequent
+        :meth:`next_batch` calls would have yielded, so training on a
+        prefetched list is equivalent to training live.
+        """
+        check_positive("count", count)
+        return [self.next_batch() for _ in range(count)]
+
+    def epoch(self) -> Iterator[MiniBatch]:
+        """Iterate exactly one epoch of batches."""
+        for _ in range(self.batches_per_epoch):
+            yield self.next_batch()

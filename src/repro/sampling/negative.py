@@ -1,0 +1,185 @@
+"""Negative sampling by triple corruption.
+
+Two strategies from §V of the paper:
+
+* **independent** — every positive draws its own ``n_neg`` corrupting
+  entities (the classic TransE recipe, complexity ``O(b_p * d * (b_n+1))``).
+* **chunked** — the PBG/DGL-KE batched strategy: the mini-batch is split
+  into chunks of ``chunk_size`` positives that *share* one set of ``n_neg``
+  corrupting entities, reducing both sampling cost and the number of unique
+  embeddings a batch touches (complexity ``O(b_p d + b_p k d / b_c)``).
+
+The sampler corrupts heads or tails (chosen per chunk) and can optionally
+filter out corruptions that collide with true triples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kg.graph import HEAD, REL, TAIL, KnowledgeGraph
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_in, check_positive
+
+
+@dataclass
+class MiniBatch:
+    """One training step's worth of samples.
+
+    Attributes
+    ----------
+    positives:
+        ``(b, 3)`` positive triples.
+    neg_entities:
+        ``(b, n_neg)`` entity ids that corrupt each positive.
+    corrupt_head:
+        ``(b,)`` bool; ``True`` rows corrupt the head, others the tail.
+    """
+
+    positives: np.ndarray
+    neg_entities: np.ndarray
+    corrupt_head: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return len(self.positives)
+
+    @property
+    def num_negatives(self) -> int:
+        return self.neg_entities.shape[1]
+
+    def unique_entities(self) -> np.ndarray:
+        """Sorted unique entity ids this batch touches (pos + neg)."""
+        return np.unique(
+            np.concatenate(
+                [
+                    self.positives[:, HEAD],
+                    self.positives[:, TAIL],
+                    self.neg_entities.ravel(),
+                ]
+            )
+        )
+
+    def unique_relations(self) -> np.ndarray:
+        """Sorted unique relation ids this batch touches."""
+        return np.unique(self.positives[:, REL])
+
+    def negative_triples(self) -> np.ndarray:
+        """Materialise all ``(b * n_neg, 3)`` corrupted triples."""
+        b, n = self.neg_entities.shape
+        pos = np.repeat(self.positives, n, axis=0)
+        neg = pos.copy()
+        flat = self.neg_entities.ravel()
+        heads = np.repeat(self.corrupt_head, n)
+        neg[heads, HEAD] = flat[heads]
+        neg[~heads, TAIL] = flat[~heads]
+        return neg
+
+
+class NegativeSampler:
+    """Corrupt positive triples into negatives.
+
+    Parameters
+    ----------
+    num_entities:
+        Size of the corruption pool (entities are drawn uniformly).
+    num_negatives:
+        Negatives per positive (``b_n`` in the paper).
+    strategy:
+        ``"independent"`` or ``"chunked"`` (see module docstring).
+    chunk_size:
+        Positives per shared-negative chunk (``b_c``); only used by the
+        chunked strategy.
+    filter_graph:
+        When given, corruptions that produce a true triple of this graph are
+        resampled (up to a few retries) — avoids training on false
+        negatives.
+    entity_pool:
+        Optional restricted id pool to corrupt from (PBG corrupts within
+        the entity partitions of the current bucket); default is the full
+        ``[0, num_entities)`` range.
+    """
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_negatives: int = 8,
+        strategy: str = "chunked",
+        chunk_size: int = 16,
+        filter_graph: KnowledgeGraph | None = None,
+        entity_pool: np.ndarray | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        check_positive("num_entities", num_entities)
+        check_positive("num_negatives", num_negatives)
+        check_positive("chunk_size", chunk_size)
+        check_in("strategy", strategy, ("independent", "chunked"))
+        self.num_entities = num_entities
+        self.num_negatives = num_negatives
+        self.strategy = strategy
+        self.chunk_size = chunk_size
+        self._filter = filter_graph.triple_set() if filter_graph is not None else None
+        if entity_pool is not None:
+            entity_pool = np.asarray(entity_pool, dtype=np.int64)
+            if len(entity_pool) == 0:
+                raise ValueError("entity_pool must not be empty")
+        self.entity_pool = entity_pool
+        self._rng = make_rng(seed)
+
+    def _draw_entities(self, size) -> np.ndarray:
+        """Uniform corrupting entities from the pool or the full range."""
+        if self.entity_pool is None:
+            return self._rng.integers(0, self.num_entities, size=size)
+        idx = self._rng.integers(0, len(self.entity_pool), size=size)
+        return self.entity_pool[idx]
+
+    # ----------------------------------------------------------------- public
+
+    def corrupt(self, positives: np.ndarray) -> MiniBatch:
+        """Build a :class:`MiniBatch` corrupting ``positives``."""
+        positives = np.asarray(positives, dtype=np.int64)
+        if positives.ndim != 2 or positives.shape[1] != 3:
+            raise ValueError(f"positives must be (b, 3), got {positives.shape}")
+        b = len(positives)
+        if b == 0:
+            return MiniBatch(
+                positives,
+                np.zeros((0, self.num_negatives), dtype=np.int64),
+                np.zeros(0, dtype=bool),
+            )
+        if self.strategy == "independent":
+            neg = self._draw_entities((b, self.num_negatives))
+            corrupt_head = self._rng.random(b) < 0.5
+        else:
+            neg = np.empty((b, self.num_negatives), dtype=np.int64)
+            corrupt_head = np.empty(b, dtype=bool)
+            for start in range(0, b, self.chunk_size):
+                stop = min(start + self.chunk_size, b)
+                shared = self._draw_entities(self.num_negatives)
+                neg[start:stop] = shared[None, :]
+                corrupt_head[start:stop] = self._rng.random() < 0.5
+        batch = MiniBatch(positives, neg, corrupt_head)
+        if self._filter is not None:
+            self._resample_false_negatives(batch)
+        return batch
+
+    # ---------------------------------------------------------------- private
+
+    def _resample_false_negatives(self, batch: MiniBatch, retries: int = 10) -> None:
+        """Replace corruptions that collide with true triples, in place."""
+        assert self._filter is not None
+        pos = batch.positives
+        for i in range(batch.size):
+            h, r, t = (int(x) for x in pos[i])
+            head = bool(batch.corrupt_head[i])
+            for j in range(batch.num_negatives):
+                e = int(batch.neg_entities[i, j])
+                candidate = (e, r, t) if head else (h, r, e)
+                attempts = 0
+                while candidate in self._filter and attempts < retries:
+                    e = int(self._draw_entities(1)[0])
+                    candidate = (e, r, t) if head else (h, r, e)
+                    attempts += 1
+                batch.neg_entities[i, j] = e

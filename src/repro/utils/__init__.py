@@ -1,0 +1,20 @@
+"""Shared utilities: seeding, simulated time, validation, table rendering."""
+
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.simclock import SimClock
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_non_negative,
+)
+
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "SimClock",
+    "format_table",
+    "check_fraction",
+    "check_positive",
+    "check_non_negative",
+]

@@ -1,0 +1,1 @@
+"""Test suite for the HET-KG reproduction (see README.md # Testing)."""

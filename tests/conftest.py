@@ -1,0 +1,43 @@
+"""Shared fixtures: small deterministic graphs and cluster components."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kg.datasets import generate_dataset
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.splits import split_triples
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture
+def rng():
+    return make_rng(42)
+
+
+@pytest.fixture
+def tiny_graph() -> KnowledgeGraph:
+    """A hand-written 6-entity, 2-relation graph."""
+    triples = [
+        (0, 0, 1),
+        (1, 0, 2),
+        (2, 1, 3),
+        (3, 0, 4),
+        (4, 1, 5),
+        (5, 0, 0),
+        (0, 1, 3),
+        (2, 0, 5),
+    ]
+    return KnowledgeGraph(np.asarray(triples), num_entities=6, num_relations=2)
+
+
+@pytest.fixture(scope="session")
+def small_graph() -> KnowledgeGraph:
+    """A generated ~180-entity graph shared across the session (read-only)."""
+    return generate_dataset("fb15k", scale=0.012, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_split(small_graph):
+    return split_triples(small_graph, seed=7)

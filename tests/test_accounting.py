@@ -1,0 +1,103 @@
+"""Accounting conservation tests: the simulation's books must balance.
+
+The cost models, per-worker clocks, telemetry, and the network's global
+byte counters all observe the same underlying events from different
+angles; these tests assert they agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TrainingConfig
+from repro.core.telemetry import Telemetry
+from repro.core.trainer import HETKGTrainer
+
+
+def config(**overrides):
+    defaults = dict(
+        model="transe", dim=8, epochs=2, batch_size=16, num_negatives=4,
+        num_machines=2, cache_strategy="dps", cache_capacity=64,
+        dps_window=4, sync_period=4, seed=1,
+    )
+    defaults.update(overrides)
+    return TrainingConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def run(small_split):
+    telemetry = Telemetry()
+    trainer = HETKGTrainer(config())
+    result = trainer.train(small_split.train, telemetry=telemetry)
+    return trainer, result, telemetry
+
+
+class TestClockConservation:
+    def test_every_worker_clock_decomposes(self, run):
+        trainer, _, _ = run
+        for worker in trainer.workers:
+            total = worker.clock.elapsed
+            parts = sum(worker.clock.by_category.values())
+            assert total == pytest.approx(parts)
+
+    def test_result_uses_slowest_worker(self, run):
+        trainer, result, _ = run
+        slowest = max(w.clock.elapsed for w in trainer.workers)
+        assert result.sim_time == slowest
+
+    def test_history_time_matches_final_clock(self, run):
+        trainer, result, _ = run
+        assert result.history.points[-1].sim_time == result.sim_time
+
+
+class TestByteConservation:
+    def test_telemetry_bytes_bounded_by_network_totals(self, run):
+        """Telemetry records step traffic only (no install/start traffic),
+        so its total must be <= the network model's global totals, and
+        close to them."""
+        trainer, result, telemetry = run
+        step_remote = sum(r.remote_bytes for r in telemetry.records)
+        total_remote = result.comm_totals.remote_bytes
+        assert step_remote <= total_remote
+        assert step_remote > 0.5 * total_remote  # installs are the minority
+
+    def test_network_totals_cover_both_directions(self, run):
+        """Pull and push both meter; total bytes must exceed either
+        direction alone (sanity against double-free accounting)."""
+        trainer, result, telemetry = run
+        assert result.comm_totals.total_bytes > result.comm_totals.remote_bytes
+
+    def test_byte_scale_multiplies_traffic(self, small_split):
+        """Doubling wire_dim must exactly double metered bytes for the
+        same seeded run."""
+        a = HETKGTrainer(config(wire_dim=160)).train(small_split.train)
+        b = HETKGTrainer(config(wire_dim=320)).train(small_split.train)
+        assert b.comm_totals.remote_bytes == pytest.approx(
+            2 * a.comm_totals.remote_bytes, rel=1e-6
+        )
+
+    def test_identical_math_regardless_of_wire_dim(self, small_split):
+        """wire_dim only affects the cost models — losses and metrics must
+        be bit-identical across wire dims."""
+        a = HETKGTrainer(config(wire_dim=160)).train(small_split.train)
+        b = HETKGTrainer(config(wire_dim=None)).train(small_split.train)
+        assert a.history.losses() == b.history.losses()
+
+
+class TestStatsConservation:
+    def test_worker_hits_equal_telemetry_hits(self, run):
+        trainer, _, telemetry = run
+        for worker in trainer.workers:
+            recorded_hits = sum(
+                r.cache_hits for r in telemetry.for_worker(worker.machine)
+            )
+            recorded_misses = sum(
+                r.cache_misses for r in telemetry.for_worker(worker.machine)
+            )
+            stats = worker.cache.combined_stats()
+            assert stats.hits == recorded_hits
+            assert stats.misses == recorded_misses
+
+    def test_epoch_iterations_balanced(self, run):
+        trainer, result, _ = run
+        counts = {w.iterations for w in trainer.workers}
+        assert len(counts) == 1  # round-robin keeps workers in lock-step

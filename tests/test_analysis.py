@@ -1,0 +1,94 @@
+"""Tests for the §IV-C convergence-theory module."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.convergence_theory import (
+    StalenessBound,
+    convergence_rate_bound,
+    minimum_iterations,
+    staleness_from_config,
+)
+
+
+def make_bound(**overrides):
+    defaults = dict(
+        initial_gap=10.0, lipschitz=1.0, sigma=2.0, staleness=4, batch_size=32
+    )
+    defaults.update(overrides)
+    return StalenessBound(**defaults)
+
+
+class TestMinimumIterations:
+    def test_quadratic_in_staleness(self):
+        t1 = minimum_iterations(make_bound(staleness=1))
+        t2 = minimum_iterations(make_bound(staleness=3))
+        # (K+1)^2: 4 vs 16 -> exactly 4x.
+        assert t2 == pytest.approx(4 * t1, rel=0.01)
+
+    def test_positive(self):
+        assert minimum_iterations(make_bound()) >= 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            make_bound(sigma=0.0)
+        with pytest.raises(ValueError):
+            make_bound(staleness=0)
+
+
+class TestConvergenceRateBound:
+    def test_rate_is_one_over_sqrt_mT(self):
+        bound = make_bound(staleness=1)
+        t0 = minimum_iterations(bound)
+        r1 = convergence_rate_bound(bound, t0 * 4)
+        r2 = convergence_rate_bound(bound, t0 * 16)
+        assert r2 == pytest.approx(r1 / 2, rel=0.01)
+
+    def test_larger_batch_smaller_bound(self):
+        t = 10**6
+        small = convergence_rate_bound(make_bound(batch_size=16), t)
+        large = convergence_rate_bound(make_bound(batch_size=64), t)
+        assert large < small
+
+    def test_pre_burn_in_penalty(self):
+        bound = make_bound(staleness=8)
+        t0 = minimum_iterations(bound)
+        before = convergence_rate_bound(bound, max(1, t0 // 2))
+        after = convergence_rate_bound(bound, t0)
+        # Pre-burn-in carries the (K+1) factor.
+        assert before > after
+
+    def test_staleness_does_not_hurt_asymptotically(self):
+        """The paper's headline: past T = O(K^2), the rate matches
+        synchronous SGD regardless of K."""
+        t = 10**9  # far past both burn-ins
+        fresh = convergence_rate_bound(make_bound(staleness=1), t)
+        stale = convergence_rate_bound(make_bound(staleness=16), t)
+        assert stale == pytest.approx(fresh, rel=1e-9)
+
+    @given(
+        staleness=st.integers(1, 32),
+        batch=st.integers(1, 512),
+        t_mult=st.integers(1, 50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bound_always_positive_and_finite(self, staleness, batch, t_mult):
+        bound = make_bound(staleness=staleness, batch_size=batch)
+        value = convergence_rate_bound(bound, t_mult * 100)
+        assert value > 0
+        assert value < float("inf")
+
+
+class TestStalenessFromConfig:
+    def test_sync_every_iteration_is_minimal(self):
+        assert staleness_from_config(sync_period=1, num_workers=4) == 1
+
+    def test_single_worker_is_minimal(self):
+        assert staleness_from_config(sync_period=128, num_workers=1) == 1
+
+    def test_grows_with_period_and_workers(self):
+        a = staleness_from_config(4, 4)
+        b = staleness_from_config(8, 4)
+        c = staleness_from_config(8, 8)
+        assert a < b < c

@@ -1,0 +1,148 @@
+"""Tests for the worker-side HotEmbeddingCache (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.cache.filtering import HotSet
+from repro.cache.sync import HotEmbeddingCache
+from repro.optim.sgd import SparseSGD
+from repro.ps.kvstore import ShardedKVStore
+from repro.ps.server import ParameterServer
+
+
+@pytest.fixture
+def server():
+    entity = np.arange(20, dtype=np.float64).reshape(10, 2)
+    relation = np.arange(8, dtype=np.float64).reshape(4, 2)
+    owner = np.array([0] * 5 + [1] * 5)
+    store = ShardedKVStore(entity, relation, owner, num_machines=2)
+    return ParameterServer(store, SparseSGD(lr=1.0))
+
+
+@pytest.fixture
+def cache(server):
+    c = HotEmbeddingCache(
+        server,
+        machine=0,
+        entity_capacity=4,
+        relation_capacity=4,
+        entity_width=2,
+        relation_width=2,
+        sync_period=3,
+        local_lr=1.0,
+    )
+    c.install(HotSet(entities=np.array([1, 7]), relations=np.array([0])))
+    return c
+
+
+class TestInstall:
+    def test_pulls_current_values(self, cache, server):
+        rows, comm = cache.fetch("entity", np.array([1, 7]))
+        assert rows[0].tolist() == [2.0, 3.0]
+        assert rows[1].tolist() == [14.0, 15.0]
+        assert comm.total_bytes == 0  # both cached -> no PS traffic
+
+    def test_install_comm_metered(self, server):
+        cache = HotEmbeddingCache(server, 0, 4, 4, 2, 2, sync_period=2, local_lr=1.0)
+        comm = cache.install(HotSet(np.array([1, 7]), np.array([0])))
+        assert comm.total_bytes > 0
+        assert comm.remote_bytes > 0  # entity 7 lives on machine 1
+
+    def test_install_truncates_to_capacity(self, server):
+        cache = HotEmbeddingCache(server, 0, 2, 2, 2, 2, sync_period=2, local_lr=1.0)
+        cache.install(HotSet(np.arange(5), np.array([], dtype=np.int64)))
+        assert len(cache.cached_ids("entity")) == 2
+
+    def test_empty_hotset(self, server):
+        cache = HotEmbeddingCache(server, 0, 4, 4, 2, 2, sync_period=2, local_lr=1.0)
+        comm = cache.install(
+            HotSet(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        )
+        assert comm.total_bytes == 0
+
+
+class TestFetch:
+    def test_miss_pulled_from_server(self, cache):
+        rows, comm = cache.fetch("entity", np.array([3]))
+        assert rows[0].tolist() == [6.0, 7.0]
+        assert comm.total_bytes > 0
+
+    def test_mixed_hit_miss_order_preserved(self, cache):
+        rows, _ = cache.fetch("entity", np.array([3, 1, 9]))
+        assert rows[0].tolist() == [6.0, 7.0]
+        assert rows[1].tolist() == [2.0, 3.0]
+        assert rows[2].tolist() == [18.0, 19.0]
+
+    def test_hit_stats_tracked(self, cache):
+        cache.fetch("entity", np.array([1, 3, 7]))
+        stats = cache.stats("entity")
+        assert stats.hits == 2
+        assert stats.misses == 1
+
+    def test_combined_stats(self, cache):
+        cache.fetch("entity", np.array([1]))
+        cache.fetch("relation", np.array([0, 2]))
+        combined = cache.combined_stats()
+        assert combined.hits == 2
+        assert combined.misses == 1
+
+
+class TestLocalGradients:
+    def test_cached_rows_updated_locally(self, cache):
+        cache.apply_local_gradients("entity", np.array([1]), np.array([[1.0, 1.0]]))
+        rows, _ = cache.fetch("entity", np.array([1]))
+        # Local AdaGrad at lr=1: first step is lr * sign(grad) (up to eps).
+        np.testing.assert_allclose(rows[0], [1.0, 2.0], rtol=1e-4)
+
+    def test_uncached_ids_ignored(self, cache, server):
+        before = server.store.table("entity")[3].copy()
+        cache.apply_local_gradients("entity", np.array([3]), np.array([[1.0, 1.0]]))
+        np.testing.assert_array_equal(server.store.table("entity")[3], before)
+
+    def test_local_update_does_not_touch_server(self, cache, server):
+        before = server.store.table("entity")[1].copy()
+        cache.apply_local_gradients("entity", np.array([1]), np.array([[1.0, 1.0]]))
+        np.testing.assert_array_equal(server.store.table("entity")[1], before)
+
+
+class TestSync:
+    def test_tick_period(self, cache):
+        assert cache.tick() is None
+        assert cache.tick() is None
+        assert cache.tick() is not None  # third tick == sync_period
+
+    def test_sync_refreshes_stale_values(self, cache, server):
+        # Another worker pushes an update to a cached id on the server.
+        server.push("entity", np.array([1]), np.array([[1.0, 1.0]]), machine=1)
+        stale, _ = cache.fetch("entity", np.array([1]))
+        assert stale[0].tolist() == [2.0, 3.0]  # still the old value
+        cache.force_sync()
+        fresh, _ = cache.fetch("entity", np.array([1]))
+        assert fresh[0].tolist() == [1.0, 2.0]  # now sees the push
+
+    def test_staleness_bounded_by_period(self, cache, server):
+        """Within P iterations, a remote update must become visible."""
+        server.push("entity", np.array([7]), np.array([[10.0, 10.0]]), machine=1)
+        for _ in range(cache.sync_period):
+            cache.tick()
+        rows, _ = cache.fetch("entity", np.array([7]))
+        assert rows[0].tolist() == [4.0, 5.0]
+
+    def test_sync_resets_counter(self, cache):
+        cache.tick()
+        cache.force_sync()
+        assert cache.tick() is None  # counter restarted
+
+    def test_sync_comm_metered(self, cache):
+        comm = cache.force_sync()
+        assert comm.total_bytes > 0
+
+    def test_install_resets_sync_counter(self, cache):
+        cache.tick()
+        cache.tick()
+        cache.install(HotSet(np.array([2]), np.array([1])))
+        assert cache.tick() is None
+
+    def test_invalid_sync_period(self, server):
+        with pytest.raises(ValueError):
+            HotEmbeddingCache(server, 0, 4, 4, 2, 2, sync_period=0, local_lr=1.0)

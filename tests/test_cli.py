@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+        assert "fig8a" in out
+
+
+class TestRun:
+    def test_run_table2(self, capsys):
+        assert main(["run", "table2", "--scale", "0.015"]) == 0
+        out = capsys.readouterr().out
+        assert "[table2]" in out
+        assert "fb15k" in out
+        assert "wall time" in out
+
+    def test_run_with_epochs_override(self, capsys):
+        assert main(["run", "table1", "--scale", "0.015", "--epochs", "1"]) == 0
+        assert "[table1]" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "table99"])
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_epochs_ignored_when_not_accepted(self, capsys):
+        # table2's runner takes no epochs parameter; the flag must not crash.
+        assert main(["run", "table2", "--scale", "0.015", "--epochs", "3"]) == 0
+
+
+class TestTrain:
+    def test_train_builtin_dataset(self, capsys):
+        rc = main(
+            [
+                "train", "--dataset", "wn18", "--scale", "0.02",
+                "--epochs", "1", "--machines", "2", "--eval-queries", "5",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "HET-KG" in out
+        assert "MRR" in out
+
+    def test_train_tsv(self, tmp_path, capsys, tiny_graph):
+        from repro.kg.datasets import save_tsv
+
+        path = tmp_path / "g.tsv"
+        save_tsv(tiny_graph, path)
+        rc = main(
+            [
+                "train", "--tsv", str(path), "--epochs", "1",
+                "--machines", "1", "--batch-size", "4", "--negatives", "2",
+                "--eval-queries", "2",
+            ]
+        )
+        assert rc == 0
+
+    def test_train_with_checkpoint(self, tmp_path, capsys):
+        ckpt = tmp_path / "model.npz"
+        rc = main(
+            [
+                "train", "--dataset", "wn18", "--scale", "0.02",
+                "--epochs", "1", "--machines", "2", "--eval-queries", "2",
+                "--checkpoint", str(ckpt),
+            ]
+        )
+        assert rc == 0
+        assert ckpt.exists()
+
+    def test_train_pbg_rejects_checkpoint(self, tmp_path, capsys):
+        rc = main(
+            [
+                "train", "--dataset", "wn18", "--scale", "0.02",
+                "--system", "pbg", "--epochs", "1", "--eval-queries", "2",
+                "--checkpoint", str(tmp_path / "x.npz"),
+            ]
+        )
+        assert rc == 1

@@ -1,0 +1,97 @@
+"""Tests for checkpoint save/restore."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.config import TrainingConfig
+from repro.core.trainer import HETKGTrainer, make_trainer
+
+
+def quick_config(**overrides):
+    defaults = dict(
+        model="transe", dim=8, epochs=2, batch_size=16, num_negatives=4,
+        num_machines=2, cache_strategy="cps", cache_capacity=64, seed=0,
+    )
+    defaults.update(overrides)
+    return TrainingConfig(**defaults)
+
+
+class TestSaveLoad:
+    def test_roundtrip_restores_tables(self, small_split, tmp_path):
+        trainer = HETKGTrainer(quick_config())
+        trainer.train(small_split.train)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(trainer, path)
+        entity_before = trainer.server.store.table("entity").copy()
+
+        # Train further (state diverges), then restore.
+        for worker in trainer.workers:
+            worker.step()
+        assert not np.array_equal(
+            entity_before, trainer.server.store.table("entity")
+        )
+        load_checkpoint(trainer, path)
+        np.testing.assert_array_equal(
+            entity_before, trainer.server.store.table("entity")
+        )
+
+    def test_restores_adagrad_state(self, small_split, tmp_path):
+        trainer = HETKGTrainer(quick_config())
+        trainer.train(small_split.train)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(trainer, path)
+        acc_before = trainer.server.optimizer._accumulators["entity"].copy()
+        for worker in trainer.workers:
+            worker.step()
+        load_checkpoint(trainer, path)
+        np.testing.assert_array_equal(
+            acc_before, trainer.server.optimizer._accumulators["entity"]
+        )
+
+    def test_resume_training_continues(self, small_split, tmp_path):
+        """A restored trainer must keep training without blowing up."""
+        trainer = HETKGTrainer(quick_config())
+        result1 = trainer.train(small_split.train)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(trainer, path)
+
+        fresh = HETKGTrainer(quick_config())
+        fresh.setup(small_split.train)
+        load_checkpoint(fresh, path)
+        loss = fresh.workers[0].step()
+        assert np.isfinite(loss)
+
+    def test_save_before_setup_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError, match="no state"):
+            save_checkpoint(HETKGTrainer(quick_config()), tmp_path / "x.npz")
+
+    def test_load_before_setup_rejected(self, small_split, tmp_path):
+        trainer = HETKGTrainer(quick_config())
+        trainer.train(small_split.train)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(trainer, path)
+        with pytest.raises(RuntimeError, match="set up"):
+            load_checkpoint(HETKGTrainer(quick_config()), path)
+
+    def test_mismatched_model_rejected(self, small_split, tmp_path):
+        trainer = HETKGTrainer(quick_config())
+        trainer.train(small_split.train)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(trainer, path)
+
+        other = HETKGTrainer(quick_config(model="distmult"))
+        other.setup(small_split.train)
+        with pytest.raises(ValueError, match="model"):
+            load_checkpoint(other, path)
+
+    def test_mismatched_dim_rejected(self, small_split, tmp_path):
+        trainer = HETKGTrainer(quick_config())
+        trainer.train(small_split.train)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(trainer, path)
+
+        other = HETKGTrainer(quick_config(dim=16))
+        other.setup(small_split.train)
+        with pytest.raises(ValueError, match="dim"):
+            load_checkpoint(other, path)

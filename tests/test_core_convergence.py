@@ -1,0 +1,52 @@
+"""Tests for repro.core.convergence."""
+
+import pytest
+
+from repro.core.convergence import HistoryPoint, TrainingHistory
+
+
+def _history():
+    h = TrainingHistory()
+    h.append(HistoryPoint(1, 10.0, 5.0, {"mrr": 0.1}))
+    h.append(HistoryPoint(2, 20.0, 4.0, {}))
+    h.append(HistoryPoint(3, 30.0, 3.0, {"mrr": 0.3}))
+    return h
+
+
+class TestTrainingHistory:
+    def test_append_and_len(self):
+        assert len(_history()) == 3
+
+    def test_epochs_must_increase(self):
+        h = _history()
+        with pytest.raises(ValueError, match="increase"):
+            h.append(HistoryPoint(2, 40.0, 1.0))
+
+    def test_series_skips_missing(self):
+        times, values = _history().series("mrr")
+        assert times == [10.0, 30.0]
+        assert values == [0.1, 0.3]
+
+    def test_epoch_series(self):
+        epochs, values = _history().epoch_series("mrr")
+        assert epochs == [1, 3]
+        assert values == [0.1, 0.3]
+
+    def test_losses(self):
+        assert _history().losses() == [5.0, 4.0, 3.0]
+
+    def test_final_metric(self):
+        assert _history().final_metric("mrr") == 0.3
+        assert _history().final_metric("hits@1", default=-1.0) == -1.0
+
+    def test_time_to_reach(self):
+        h = _history()
+        assert h.time_to_reach("mrr", 0.05) == 10.0
+        assert h.time_to_reach("mrr", 0.2) == 30.0
+        assert h.time_to_reach("mrr", 0.9) is None
+
+    def test_empty_history(self):
+        h = TrainingHistory()
+        assert h.series("mrr") == ([], [])
+        assert h.final_metric("mrr") == 0.0
+        assert h.time_to_reach("mrr", 0.0) is None

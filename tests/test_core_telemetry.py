@@ -1,0 +1,90 @@
+"""Tests for per-iteration telemetry."""
+
+import pytest
+
+from repro.core.config import TrainingConfig
+from repro.core.telemetry import IterationRecord, Telemetry
+from repro.core.trainer import HETKGTrainer
+
+
+def quick_config(**overrides):
+    defaults = dict(
+        model="transe", dim=8, epochs=2, batch_size=16, num_negatives=4,
+        num_machines=2, cache_strategy="dps", cache_capacity=64,
+        dps_window=4, sync_period=4, seed=0,
+    )
+    defaults.update(overrides)
+    return TrainingConfig(**defaults)
+
+
+@pytest.fixture
+def recorded(small_split):
+    telemetry = Telemetry()
+    trainer = HETKGTrainer(quick_config())
+    result = trainer.train(small_split.train, telemetry=telemetry)
+    return telemetry, trainer, result
+
+
+class TestRecording:
+    def test_one_record_per_step(self, recorded):
+        telemetry, trainer, _ = recorded
+        total_steps = sum(w.iterations for w in trainer.workers)
+        assert len(telemetry) == total_steps
+
+    def test_per_worker_view(self, recorded):
+        telemetry, trainer, _ = recorded
+        for worker in trainer.workers:
+            records = telemetry.for_worker(worker.machine)
+            assert len(records) == worker.iterations
+            iters = [r.iteration for r in records]
+            assert iters == sorted(iters)
+
+    def test_sim_time_monotone_per_worker(self, recorded):
+        telemetry, trainer, _ = recorded
+        for worker in trainer.workers:
+            times = [r.sim_time for r in telemetry.for_worker(worker.machine)]
+            assert times == sorted(times)
+
+    def test_cache_stats_consistent(self, recorded):
+        telemetry, trainer, _ = recorded
+        hits = sum(r.cache_hits for r in telemetry.records)
+        misses = sum(r.cache_misses for r in telemetry.records)
+        measured = hits / (hits + misses)
+        # Worker-level ratio counts only in-step accesses too, so the two
+        # views must agree closely.
+        summary = telemetry.summary()
+        assert summary["hit_ratio"] == pytest.approx(measured)
+        assert 0.0 < measured <= 1.0
+
+    def test_summary_fields(self, recorded):
+        telemetry, _, _ = recorded
+        s = telemetry.summary()
+        assert s["steps"] == len(telemetry)
+        assert s["mean_loss"] > 0
+        assert s["remote_bytes_per_step"] > 0
+
+    def test_empty_summary(self):
+        assert Telemetry().summary() == {"steps": 0}
+
+    def test_uncached_worker_records_zero_cache_stats(self, small_split):
+        telemetry = Telemetry()
+        trainer = HETKGTrainer(quick_config(cache_strategy="none"))
+        trainer.train(small_split.train, telemetry=telemetry)
+        assert all(r.cache_hits == 0 for r in telemetry.records)
+        assert telemetry.summary()["hit_ratio"] == 0.0
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip(self, recorded, tmp_path):
+        telemetry, _, _ = recorded
+        path = tmp_path / "telemetry.csv"
+        telemetry.to_csv(path)
+        loaded = Telemetry.from_csv(path)
+        assert len(loaded) == len(telemetry)
+        assert loaded.records[0] == telemetry.records[0]
+        assert loaded.total_remote_bytes() == telemetry.total_remote_bytes()
+
+    def test_empty_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        Telemetry().to_csv(path)
+        assert len(Telemetry.from_csv(path)) == 0

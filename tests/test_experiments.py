@@ -1,0 +1,191 @@
+"""Tests for the experiment runners — every paper table/figure runner must
+produce a sane, well-shaped result at tiny scale."""
+
+import math
+
+import pytest
+
+from repro.experiments.common import (
+    ALL_SYSTEMS,
+    ExperimentResult,
+    base_config,
+    dataset_bundle,
+)
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+
+TINY = dict(scale=0.015, epochs=1, seed=0)
+
+
+def run_tiny(name):
+    """Run an experiment with the smallest knobs its signature accepts."""
+    import inspect
+
+    runner = get_experiment(name)
+    accepted = inspect.signature(runner).parameters
+    kwargs = {k: v for k, v in TINY.items() if k in accepted}
+    return runner(**kwargs)
+
+
+class TestRegistry:
+    def test_all_paper_ids_present(self):
+        expected = {
+            "table1", "table2", "table3", "table4", "table5", "table6", "table7",
+            "fig2", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig8c", "fig9",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("table99")
+
+    def test_list_sorted(self):
+        names = list_experiments()
+        assert names == sorted(names)
+
+
+class TestCommon:
+    def test_dataset_bundle_memoised(self):
+        a = dataset_bundle("fb15k", scale=0.015, seed=0)
+        b = dataset_bundle("fb15k", scale=0.015, seed=0)
+        assert a is b
+
+    def test_bundle_split_is_90_5_5(self):
+        bundle = dataset_bundle("fb15k", scale=0.015, seed=0)
+        n = bundle.graph.num_triples
+        assert bundle.split.train.num_triples == round(0.9 * n)
+
+    def test_base_config_paper_values(self):
+        cfg = base_config()
+        assert cfg.optimizer == "adagrad"
+        assert cfg.lr == 0.1
+        assert cfg.num_machines == 4
+
+    def test_result_to_text(self):
+        result = ExperimentResult(
+            "t", "Title", ["a", "b"], [[1, 2.5]],
+            notes="n", series={"s": [(1.0, 2.0)]},
+        )
+        text = result.to_text()
+        assert "[t] Title" in text
+        assert "series s" in text
+        assert "note: n" in text
+
+
+class TestMicrobenchRunners:
+    def test_table1_comm_dominates(self):
+        result = run_tiny("table1")
+        assert len(result.rows) == 3
+        for row in result.rows:
+            assert 0.0 < row[3] < 1.0  # comm fraction
+        # The headline claim at any scale with 1 Gbps: comm share is large.
+        assert max(row[3] for row in result.rows) > 0.4
+
+    def test_fig2_relation_skew_exceeds_entity(self):
+        result = run_tiny("fig2")
+        for row in result.rows:
+            assert row[2] > row[1]  # relation share > entity share
+
+    def test_table2_counts(self):
+        result = run_tiny("table2")
+        for row in result.rows:
+            assert row[1] > 0 and row[2] > 0 and row[3] > 0
+
+
+class TestAccuracyRunners:
+    @pytest.mark.parametrize("name", ["table3", "table4"])
+    def test_accuracy_table_shape(self, name):
+        result = run_tiny(name)
+        assert len(result.rows) == 2 * len(ALL_SYSTEMS)  # two models
+        for row in result.rows:
+            assert 0.0 <= row[2] <= 1.0  # MRR
+            assert row[5] > 0  # time
+
+    def test_table5_single_model(self):
+        result = run_tiny("table5")
+        assert len(result.rows) == len(ALL_SYSTEMS)
+        assert all(row[1] == "transe" for row in result.rows)
+
+
+class TestEfficiencyRunners:
+    def test_fig5_series_monotone_time(self):
+        result = get_experiment("fig5")(scale=0.015, epochs=2, seed=0)
+        for label, points in result.series.items():
+            times = [t for t, _ in points]
+            assert times == sorted(times)
+
+    def test_fig6_speedups_start_at_one(self):
+        result = get_experiment("fig6")(
+            scale=0.03, epochs=1, seed=0, worker_counts=(1, 2)
+        )
+        for label, points in result.series.items():
+            assert points[0][1] == pytest.approx(1.0)
+
+    def test_fig7_breakdown_sums(self):
+        result = run_tiny("fig7")
+        for row in result.rows:
+            assert row[4] == pytest.approx(row[2] + row[3], rel=1e-6)
+
+
+class TestCacheStudyRunners:
+    def test_fig8a_hit_ratio_nondecreasing_in_capacity(self):
+        result = get_experiment("fig8a")(
+            scale=0.03, epochs=1, seed=0, capacities=(32, 512)
+        )
+        hits = [r[1] for r in result.rows]
+        assert hits[1] >= hits[0]
+
+    def test_fig8b_time_falls_with_staleness(self):
+        result = get_experiment("fig8b")(
+            scale=0.03, epochs=1, seed=0, staleness=(1, 16)
+        )
+        times = [r[2] for r in result.rows]
+        assert times[1] < times[0]
+
+    def test_fig8c_extreme_ratios_not_best(self):
+        result = get_experiment("fig8c")(
+            scale=0.05, epochs=1, seed=0, ratios=(0.0, 0.25, 1.0)
+        )
+        hits = [r[1] for r in result.rows]
+        assert hits[1] >= max(hits[0], hits[2]) - 0.02
+
+    def test_fig9_produces_curves(self):
+        result = get_experiment("fig9")(
+            scale=0.03, epochs=2, seed=0, staleness=(1, 8)
+        )
+        assert len(result.series) == 2
+
+    def test_table6_hetkg_beats_fifo_and_lru(self):
+        result = get_experiment("table6")(scale=0.03, seed=0)
+        for row in result.rows:
+            fifo, lru, lfu, importance, hetkg = row[1:]
+            assert hetkg > fifo
+            assert hetkg > lru
+            assert hetkg >= importance - 0.02
+
+    def test_table7_two_variants_per_dataset(self):
+        result = get_experiment("table7")(scale=0.015, epochs=1, seed=0)
+        assert len(result.rows) == 4
+        labels = {row[1] for row in result.rows}
+        assert labels == {"HET-KG", "HET-KG-N"}
+
+
+class TestAblationRunners:
+    def test_partition_metis_cuts_less(self):
+        result = run_tiny("ablation-partition")
+        by_dataset = {}
+        for dataset, name, cut, *_ in result.rows:
+            by_dataset.setdefault(dataset, {})[name] = cut
+        for cuts in by_dataset.values():
+            assert cuts["metis"] < cuts["random"]
+
+    def test_negatives_chunked_smaller_working_set(self):
+        result = run_tiny("ablation-negatives")
+        uniques = {row[0]: row[1] for row in result.rows}
+        assert uniques["chunked"] < uniques["independent"]
+
+    def test_dps_window_rows(self):
+        result = get_experiment("ablation-dps-window")(
+            scale=0.015, epochs=1, seed=0, windows=(4, 64)
+        )
+        assert len(result.rows) == 2
+        assert all(0 <= row[1] <= 1 for row in result.rows)

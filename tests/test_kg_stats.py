@@ -1,0 +1,84 @@
+"""Tests for repro.kg.stats."""
+
+import numpy as np
+import pytest
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.stats import (
+    access_frequencies,
+    frequency_skew_report,
+    gini,
+    top_fraction_share,
+)
+
+
+class TestAccessFrequencies:
+    def test_positive_counts(self, tiny_graph):
+        ent, rel = access_frequencies(tiny_graph)
+        assert ent.sum() == 2 * tiny_graph.num_triples
+        assert rel.sum() == tiny_graph.num_triples
+
+    def test_with_negatives(self, tiny_graph, rng):
+        ent, rel = access_frequencies(tiny_graph, negatives_per_positive=3, rng=rng)
+        assert ent.sum() == 2 * tiny_graph.num_triples + 3 * tiny_graph.num_triples
+        assert rel.sum() == 4 * tiny_graph.num_triples
+
+    def test_negatives_require_rng(self, tiny_graph):
+        with pytest.raises(ValueError, match="rng"):
+            access_frequencies(tiny_graph, negatives_per_positive=2)
+
+    def test_empty_graph(self):
+        g = KnowledgeGraph(np.empty((0, 3), dtype=np.int64))
+        ent, rel = access_frequencies(g)
+        assert ent.size == 0 and rel.size == 0
+
+
+class TestTopFractionShare:
+    def test_uniform(self):
+        counts = np.ones(100, dtype=np.int64)
+        assert top_fraction_share(counts, 0.1) == pytest.approx(0.1)
+
+    def test_fully_concentrated(self):
+        counts = np.zeros(100, dtype=np.int64)
+        counts[0] = 50
+        assert top_fraction_share(counts, 0.01) == 1.0
+
+    def test_zero_counts(self):
+        assert top_fraction_share(np.zeros(10, dtype=np.int64), 0.5) == 0.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            top_fraction_share(np.ones(5), 0.0)
+        with pytest.raises(ValueError):
+            top_fraction_share(np.ones(5), 1.5)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini(np.full(50, 7)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_is_high(self):
+        counts = np.zeros(100)
+        counts[0] = 1000
+        assert gini(counts) > 0.9
+
+    def test_empty(self):
+        assert gini(np.array([])) == 0.0
+
+    def test_between_zero_and_one(self, rng):
+        counts = rng.integers(0, 1000, size=200)
+        assert 0.0 <= gini(counts) <= 1.0
+
+
+class TestSkewReport:
+    def test_report_shape(self, small_graph, rng):
+        report = frequency_skew_report(small_graph, "small", 2, rng)
+        row = report.as_row()
+        assert row[0] == "small"
+        assert all(0.0 <= v <= 1.0 for v in row[1:])
+
+    def test_relations_more_skewed_than_entities(self, small_graph, rng):
+        """The node-heterogeneity observation behind Fig. 2: the hottest
+        relations cover a larger share than the hottest entities."""
+        report = frequency_skew_report(small_graph, "small", 2, rng)
+        assert report.relation_top1pct_share > report.entity_top1pct_share

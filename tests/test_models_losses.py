@@ -1,0 +1,216 @@
+"""Tests for repro.models.losses."""
+
+import numpy as np
+import pytest
+
+from repro.models.losses import LogisticLoss, MarginRankingLoss, get_loss
+
+EPS = 1e-6
+
+
+def _numeric_grads(loss, pos, neg):
+    """Finite-difference gradients of the loss value."""
+    gp = np.zeros_like(pos)
+    for i in range(pos.size):
+        p = pos.copy()
+        p[i] += EPS
+        plus = loss.compute(p, neg).value
+        p[i] -= 2 * EPS
+        minus = loss.compute(p, neg).value
+        gp[i] = (plus - minus) / (2 * EPS)
+    gn = np.zeros_like(neg)
+    for i in range(neg.shape[0]):
+        for j in range(neg.shape[1]):
+            n = neg.copy()
+            n[i, j] += EPS
+            plus = loss.compute(pos, n).value
+            n[i, j] -= 2 * EPS
+            minus = loss.compute(pos, n).value
+            gn[i, j] = (plus - minus) / (2 * EPS)
+    return gp, gn
+
+
+class TestMarginRankingLoss:
+    def test_zero_when_separated(self):
+        loss = MarginRankingLoss(margin=1.0)
+        result = loss.compute(np.array([5.0, 5.0]), np.array([[0.0], [1.0]]))
+        assert result.value == 0.0
+        assert np.all(result.grad_pos == 0)
+        assert np.all(result.grad_neg == 0)
+
+    def test_active_pair_value(self):
+        loss = MarginRankingLoss(margin=1.0)
+        result = loss.compute(np.array([0.0]), np.array([[0.5]]))
+        assert result.value == pytest.approx(1.5)
+        assert result.grad_pos[0] == -1.0
+        assert result.grad_neg[0, 0] == 1.0
+
+    def test_gradients_match_numerical(self, rng):
+        loss = MarginRankingLoss(margin=0.7)
+        pos = rng.normal(size=6)
+        neg = rng.normal(size=(6, 3))
+        result = loss.compute(pos, neg)
+        gp, gn = _numeric_grads(loss, pos, neg)
+        np.testing.assert_allclose(result.grad_pos, gp, atol=1e-5)
+        np.testing.assert_allclose(result.grad_neg, gn, atol=1e-5)
+
+    def test_multiple_negatives_accumulate_on_pos(self):
+        loss = MarginRankingLoss(margin=1.0)
+        result = loss.compute(np.array([0.0]), np.array([[0.0, 0.0, 0.0]]))
+        assert result.grad_pos[0] == -3.0
+
+    def test_invalid_margin(self):
+        with pytest.raises(ValueError):
+            MarginRankingLoss(margin=0.0)
+
+    def test_shape_validation(self):
+        loss = MarginRankingLoss()
+        with pytest.raises(ValueError, match="1-D"):
+            loss.compute(np.zeros((2, 2)), np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="shape"):
+            loss.compute(np.zeros(2), np.zeros((3, 1)))
+
+
+class TestLogisticLoss:
+    def test_confident_predictions_low_loss(self):
+        loss = LogisticLoss()
+        good = loss.compute(np.array([10.0]), np.array([[-10.0]]))
+        bad = loss.compute(np.array([-10.0]), np.array([[10.0]]))
+        assert good.value < 0.01
+        assert bad.value > 10.0
+
+    def test_gradients_match_numerical(self, rng):
+        loss = LogisticLoss()
+        pos = rng.normal(size=5)
+        neg = rng.normal(size=(5, 2))
+        result = loss.compute(pos, neg)
+        gp, gn = _numeric_grads(loss, pos, neg)
+        np.testing.assert_allclose(result.grad_pos, gp, atol=1e-5)
+        np.testing.assert_allclose(result.grad_neg, gn, atol=1e-5)
+
+    def test_grad_signs(self):
+        """Positives push scores up (negative grad), negatives down."""
+        loss = LogisticLoss()
+        result = loss.compute(np.array([0.0]), np.array([[0.0]]))
+        assert result.grad_pos[0] < 0
+        assert result.grad_neg[0, 0] > 0
+
+    def test_numerically_stable_extremes(self):
+        loss = LogisticLoss()
+        result = loss.compute(np.array([1000.0, -1000.0]), np.array([[1000.0], [-1000.0]]))
+        assert np.isfinite(result.value)
+        assert np.all(np.isfinite(result.grad_pos))
+
+
+class TestGetLoss:
+    def test_ranking(self):
+        loss = get_loss("ranking", margin=2.0)
+        assert isinstance(loss, MarginRankingLoss)
+        assert loss.margin == 2.0
+
+    def test_logistic(self):
+        assert isinstance(get_loss("logistic"), LogisticLoss)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="unknown loss"):
+            get_loss("hinge2")
+
+
+class TestSelfAdversarialLoss:
+    def test_hard_negatives_weighted_more(self):
+        from repro.models.losses import SelfAdversarialLoss
+
+        loss = SelfAdversarialLoss(margin=1.0, temperature=1.0)
+        pos = np.array([0.0])
+        neg = np.array([[3.0, -3.0]])  # first negative scores far higher
+        result = loss.compute(pos, neg)
+        # Gradient mass concentrates on the hard negative.
+        assert result.grad_neg[0, 0] > 5 * result.grad_neg[0, 1]
+
+    def test_uniform_weights_when_equal_scores(self):
+        from repro.models.losses import SelfAdversarialLoss
+
+        loss = SelfAdversarialLoss()
+        result = loss.compute(np.array([0.0]), np.array([[1.0, 1.0, 1.0, 1.0]]))
+        np.testing.assert_allclose(
+            result.grad_neg[0], np.full(4, result.grad_neg[0, 0])
+        )
+
+    def test_grad_signs(self):
+        from repro.models.losses import SelfAdversarialLoss
+
+        result = SelfAdversarialLoss().compute(np.array([0.0]), np.array([[0.0]]))
+        assert result.grad_pos[0] < 0
+        assert result.grad_neg[0, 0] > 0
+
+    def test_value_non_negative_and_finite_extremes(self):
+        from repro.models.losses import SelfAdversarialLoss
+
+        loss = SelfAdversarialLoss()
+        result = loss.compute(
+            np.array([1000.0, -1000.0]), np.array([[1000.0], [-1000.0]])
+        )
+        assert np.isfinite(result.value)
+        assert result.value >= 0.0
+
+    def test_grad_matches_detached_numerical(self, rng):
+        """With the softmax weights held fixed (as the implementation
+        detaches them), gradients must match finite differences."""
+        from repro.models.losses import SelfAdversarialLoss, _log_sigmoid
+
+        loss = SelfAdversarialLoss(margin=0.7, temperature=1.3)
+        pos = rng.normal(size=4)
+        neg = rng.normal(size=(4, 3))
+        weights = loss._weights(neg)
+        result = loss.compute(pos, neg)
+
+        def detached_value(p, n):
+            pos_term = -_log_sigmoid(loss.margin + p)
+            neg_term = -(weights * _log_sigmoid(-(loss.margin + n))).sum(axis=1)
+            return float((pos_term + neg_term).sum())
+
+        eps = 1e-6
+        for i in range(pos.size):
+            p = pos.copy()
+            p[i] += eps
+            plus = detached_value(p, neg)
+            p[i] -= 2 * eps
+            minus = detached_value(p, neg)
+            assert result.grad_pos[i] == pytest.approx(
+                (plus - minus) / (2 * eps), abs=1e-5
+            )
+        for i in range(neg.shape[0]):
+            for j in range(neg.shape[1]):
+                n = neg.copy()
+                n[i, j] += eps
+                plus = detached_value(pos, n)
+                n[i, j] -= 2 * eps
+                minus = detached_value(pos, n)
+                assert result.grad_neg[i, j] == pytest.approx(
+                    (plus - minus) / (2 * eps), abs=1e-5
+                )
+
+    def test_invalid_params(self):
+        from repro.models.losses import SelfAdversarialLoss
+
+        with pytest.raises(ValueError):
+            SelfAdversarialLoss(margin=0.0)
+        with pytest.raises(ValueError):
+            SelfAdversarialLoss(temperature=0.0)
+
+    def test_get_loss(self):
+        from repro.models.losses import SelfAdversarialLoss, get_loss
+
+        assert isinstance(get_loss("self-adversarial", 2.0), SelfAdversarialLoss)
+
+    def test_trains_end_to_end(self, small_split):
+        from repro.core.config import TrainingConfig
+        from repro.core.trainer import HETKGTrainer
+
+        config = TrainingConfig(
+            model="rotate", dim=8, loss="self-adversarial", epochs=4,
+            batch_size=16, num_negatives=4, num_machines=2, seed=0,
+        )
+        result = HETKGTrainer(config).train(small_split.train)
+        losses = result.history.losses()
+        assert losses[-1] < losses[0]

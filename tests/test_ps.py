@@ -1,0 +1,169 @@
+"""Tests for repro.ps (network cost models, KVStore, parameter server)."""
+
+import numpy as np
+import pytest
+
+from repro.optim.sgd import SparseSGD
+from repro.ps.kvstore import ShardedKVStore
+from repro.ps.network import BYTES_PER_ELEMENT, CommRecord, ComputeModel, NetworkModel
+from repro.ps.server import ParameterServer
+
+
+@pytest.fixture
+def store():
+    entity = np.arange(20, dtype=np.float64).reshape(10, 2)
+    relation = np.arange(12, dtype=np.float64).reshape(4, 3)
+    owner = np.array([0, 0, 0, 1, 1, 1, 2, 2, 2, 0])
+    return ShardedKVStore(entity, relation, owner, num_machines=3)
+
+
+@pytest.fixture
+def server(store):
+    return ParameterServer(store, SparseSGD(lr=1.0))
+
+
+class TestCommRecord:
+    def test_merge(self):
+        a = CommRecord(local_bytes=1, remote_bytes=2, local_messages=1, remote_messages=1)
+        b = CommRecord(local_bytes=10, remote_bytes=20, remote_messages=3)
+        a.merge(b)
+        assert a.local_bytes == 11
+        assert a.remote_bytes == 22
+        assert a.remote_messages == 4
+        assert a.total_bytes == 33
+
+
+class TestNetworkModel:
+    def test_remote_time(self):
+        net = NetworkModel(bandwidth=100.0, latency=1.0, local_bandwidth=1e12, local_latency=0.0)
+        t = net.time_for(CommRecord(remote_bytes=200, remote_messages=2))
+        assert t == pytest.approx(2 * 1.0 + 200 / 100.0)
+
+    def test_local_cheaper_than_remote(self):
+        net = NetworkModel()
+        remote = net.time_for(CommRecord(remote_bytes=10_000, remote_messages=1))
+        local = net.time_for(CommRecord(local_bytes=10_000, local_messages=1))
+        assert local < remote / 10
+
+    def test_totals_accumulate(self):
+        net = NetworkModel()
+        net.time_for(CommRecord(remote_bytes=100))
+        net.time_for(CommRecord(remote_bytes=50))
+        assert net.totals.remote_bytes == 150
+        net.reset_totals()
+        assert net.totals.remote_bytes == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth=0)
+        with pytest.raises(ValueError):
+            NetworkModel(latency=-1)
+
+
+class TestComputeModel:
+    def test_batch_time_scales_linearly(self):
+        cm = ComputeModel(throughput=1e6)
+        assert cm.batch_time(200, 8) == pytest.approx(2 * cm.batch_time(100, 8))
+        assert cm.batch_time(100, 16) == pytest.approx(2 * cm.batch_time(100, 8))
+
+    def test_forward_only_halves(self):
+        cm = ComputeModel(throughput=1e6)
+        assert cm.batch_time(100, 8, backward=False) == pytest.approx(
+            cm.batch_time(100, 8) / 2
+        )
+
+    def test_overhead_time(self):
+        cm = ComputeModel(throughput=1e6)
+        assert cm.overhead_time(1000, per_item_ops=10) == pytest.approx(0.01)
+
+
+class TestShardedKVStore:
+    def test_read_returns_copy(self, store):
+        rows = store.read("entity", np.array([0]))
+        rows[0, 0] = 999.0
+        assert store.table("entity")[0, 0] == 0.0
+
+    def test_owners(self, store):
+        assert list(store.owners("entity", np.array([0, 3, 6]))) == [0, 1, 2]
+
+    def test_relation_round_robin(self, store):
+        assert list(store.owners("relation", np.array([0, 1, 2, 3]))) == [0, 1, 2, 0]
+
+    def test_split_local_remote(self, store):
+        local, remote = store.split_local_remote("entity", np.array([0, 3, 9]), 0)
+        assert list(local) == [0, 9]
+        assert list(remote) == [3]
+
+    def test_remote_machine_count(self, store):
+        assert store.remote_machine_count("entity", np.array([0, 3, 6]), 0) == 2
+        assert store.remote_machine_count("entity", np.array([0, 1]), 0) == 0
+
+    def test_write(self, store):
+        store.write("entity", np.array([2]), np.array([[7.0, 8.0]]))
+        assert store.table("entity")[2].tolist() == [7.0, 8.0]
+
+    def test_unknown_kind(self, store):
+        with pytest.raises(KeyError):
+            store.table("edges")
+
+    def test_owner_length_checked(self):
+        with pytest.raises(ValueError, match="entity_owner"):
+            ShardedKVStore(np.zeros((3, 2)), np.zeros((1, 2)), np.array([0]), 1)
+
+    def test_owner_range_checked(self):
+        with pytest.raises(ValueError, match="out of range"):
+            ShardedKVStore(np.zeros((2, 2)), np.zeros((1, 2)), np.array([0, 5]), 2)
+
+    def test_memory_bytes(self, store):
+        assert store.memory_bytes() == 20 * 8 + 12 * 8
+
+
+class TestParameterServerPull:
+    def test_rows_in_request_order(self, server):
+        rows, _ = server.pull("entity", np.array([3, 0]), machine=0)
+        assert rows[0].tolist() == [6.0, 7.0]
+        assert rows[1].tolist() == [0.0, 1.0]
+
+    def test_comm_split(self, server):
+        _, comm = server.pull("entity", np.array([0, 1, 3, 6]), machine=0)
+        width_bytes = 2 * BYTES_PER_ELEMENT
+        assert comm.local_bytes == 2 * width_bytes
+        assert comm.remote_bytes == 2 * width_bytes
+        assert comm.remote_messages == 2  # machines 1 and 2
+        assert comm.local_messages == 1
+
+    def test_all_local_no_remote_messages(self, server):
+        _, comm = server.pull("entity", np.array([0, 1, 2]), machine=0)
+        assert comm.remote_bytes == 0
+        assert comm.remote_messages == 0
+
+    def test_byte_scale(self, store):
+        server = ParameterServer(store, SparseSGD(lr=1.0), byte_scale=25.0)
+        _, comm = server.pull("entity", np.array([3]), machine=0)
+        assert comm.remote_bytes == 2 * BYTES_PER_ELEMENT * 25
+
+    def test_invalid_byte_scale(self, store):
+        with pytest.raises(ValueError):
+            ParameterServer(store, SparseSGD(lr=1.0), byte_scale=0)
+
+
+class TestParameterServerPush:
+    def test_applies_optimizer(self, server):
+        before = server.store.table("entity")[1].copy()
+        server.push("entity", np.array([1]), np.array([[1.0, 1.0]]), machine=0)
+        after = server.store.table("entity")[1]
+        np.testing.assert_allclose(after, before - 1.0)  # SGD lr=1
+
+    def test_version_bumps(self, server):
+        v = server.version
+        server.push("entity", np.array([0]), np.array([[0.0, 0.0]]), machine=0)
+        assert server.version == v + 1
+
+    def test_mismatched_grads_rejected(self, server):
+        with pytest.raises(ValueError, match="gradient rows"):
+            server.push("entity", np.array([0, 1]), np.array([[0.0, 0.0]]), machine=0)
+
+    def test_push_metered_like_pull(self, server):
+        comm = server.push("entity", np.array([3]), np.array([[0.0, 0.0]]), machine=0)
+        assert comm.remote_bytes > 0
+        assert comm.remote_messages == 1

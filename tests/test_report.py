@@ -1,0 +1,57 @@
+"""Tests for the EXPERIMENTS.md report machinery."""
+
+import pytest
+
+from repro.experiments.paper_reference import PAPER_REFERENCES
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.report import (
+    REPORT_SETTINGS,
+    generate_report,
+    render_section,
+)
+
+
+class TestCoverage:
+    def test_every_experiment_has_a_paper_reference(self):
+        assert set(PAPER_REFERENCES) == set(EXPERIMENTS)
+
+    def test_every_experiment_has_report_settings(self):
+        assert set(REPORT_SETTINGS) == set(EXPERIMENTS)
+
+    def test_references_are_non_empty(self):
+        for ref in PAPER_REFERENCES.values():
+            assert ref.paper_values.strip()
+            assert ref.shape.strip()
+
+
+class TestRendering:
+    def test_render_section_structure(self):
+        section = render_section("table2")
+        assert section.startswith("## table2")
+        assert "**Paper (" in section
+        assert "**Shape to reproduce.**" in section
+        assert "```" in section
+
+    def test_generate_report_subset(self, tmp_path):
+        out = tmp_path / "report.md"
+        text = generate_report(
+            only=["table2"], verbose=False, output=str(out)
+        )
+        assert "# EXPERIMENTS" in text
+        assert out.read_text() == text.rstrip("\n") + "\n\n"
+
+    def test_append_mode(self, tmp_path):
+        out = tmp_path / "report.md"
+        generate_report(only=["table2"], verbose=False, output=str(out))
+        before = out.read_text()
+        generate_report(
+            only=["ablation-negatives"],
+            verbose=False,
+            output=str(out),
+            append=True,
+        )
+        after = out.read_text()
+        assert after.startswith(before)
+        assert "## ablation-negatives" in after
+        # The header must not be duplicated.
+        assert after.count("# EXPERIMENTS") == 1

@@ -1,0 +1,110 @@
+"""Tests for the generic hyperparameter sweep utility."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import TrainingConfig
+from repro.experiments.sweep import SweepResult, run_sweep
+
+
+def quick_config(**overrides):
+    defaults = dict(
+        model="transe", dim=8, epochs=1, batch_size=16, num_negatives=4,
+        num_machines=2, cache_strategy="dps", cache_capacity=64,
+        dps_window=4, sync_period=4, seed=0,
+    )
+    defaults.update(overrides)
+    return TrainingConfig(**defaults)
+
+
+class TestRunSweep:
+    def test_one_dimensional(self, small_split):
+        result = run_sweep(
+            "hetkg-d",
+            quick_config(),
+            small_split,
+            {"sync_period": [2, 8]},
+            eval_max_queries=5,
+            eval_candidates=20,
+        )
+        assert result.parameters == ["sync_period"]
+        assert len(result.records) == 2
+        assert result.column("sync_period") == [2, 8]
+        for record in result.records:
+            assert 0.0 <= record["mrr"] <= 1.0
+            assert record["sim_time"] > 0
+
+    def test_cartesian_grid(self, small_split):
+        result = run_sweep(
+            "hetkg-c",
+            quick_config(),
+            small_split,
+            {"sync_period": [2, 8], "cache_capacity": [32, 64]},
+            eval_max_queries=3,
+            eval_candidates=20,
+        )
+        assert len(result.records) == 4
+        combos = {
+            (r["sync_period"], r["cache_capacity"]) for r in result.records
+        }
+        assert combos == {(2, 32), (2, 64), (8, 32), (8, 64)}
+
+    def test_longer_sync_is_faster(self, small_split):
+        result = run_sweep(
+            "hetkg-c",
+            quick_config(epochs=2),
+            small_split,
+            {"sync_period": [1, 16]},
+            eval_max_queries=1,
+        )
+        fast = result.best("sim_time", minimize=True)
+        assert fast["sync_period"] == 16
+
+    def test_best_raises_on_empty(self):
+        with pytest.raises(ValueError, match="no records"):
+            SweepResult(parameters=["x"]).best()
+
+    def test_unknown_field_rejected(self, small_split):
+        with pytest.raises(ValueError, match="unknown TrainingConfig field"):
+            run_sweep("hetkg-d", quick_config(), small_split, {"nope": [1]})
+
+    def test_empty_grid_rejected(self, small_split):
+        with pytest.raises(ValueError, match="at least one"):
+            run_sweep("hetkg-d", quick_config(), small_split, {})
+        with pytest.raises(ValueError, match="no values"):
+            run_sweep("hetkg-d", quick_config(), small_split, {"sync_period": []})
+
+    def test_to_text_renders(self, small_split):
+        result = run_sweep(
+            "hetkg-d",
+            quick_config(),
+            small_split,
+            {"sync_period": [4]},
+            eval_max_queries=2,
+            eval_candidates=10,
+        )
+        text = result.to_text()
+        assert "sync_period" in text
+        assert "mrr" in text
+
+
+class TestSweepCli:
+    def test_cli_sweep(self, capsys):
+        rc = main(
+            [
+                "sweep", "sync_period", "2", "8",
+                "--dataset", "wn18", "--scale", "0.02", "--epochs", "1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sweep results" in out
+        assert "fastest" in out
+
+    def test_value_parsing(self):
+        from repro.cli import _parse_value
+
+        assert _parse_value("3") == 3
+        assert _parse_value("0.25") == 0.25
+        assert _parse_value("none") is None
+        assert _parse_value("metis") == "metis"

@@ -1,0 +1,55 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import DEFAULT_SEED, make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_returns_generator(self):
+        assert isinstance(make_rng(1), np.random.Generator)
+
+    def test_same_seed_same_stream(self):
+        a, b = make_rng(5), make_rng(5)
+        assert a.integers(0, 1000) == b.integers(0, 1000)
+
+    def test_different_seeds_diverge(self):
+        a, b = make_rng(1), make_rng(2)
+        draws_a = a.integers(0, 10**9, size=8)
+        draws_b = b.integers(0, 10**9, size=8)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_none_uses_default_seed(self):
+        a = make_rng(None)
+        b = make_rng(DEFAULT_SEED)
+        assert a.integers(0, 1000) == b.integers(0, 1000)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(3)
+        assert make_rng(gen) is gen
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        children = spawn_rngs(make_rng(0), 5)
+        assert len(children) == 5
+
+    def test_children_independent(self):
+        children = spawn_rngs(make_rng(0), 2)
+        a = children[0].integers(0, 10**9, size=8)
+        b = children[1].integers(0, 10**9, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic(self):
+        a = spawn_rngs(make_rng(0), 3)
+        b = spawn_rngs(make_rng(0), 3)
+        for x, y in zip(a, b):
+            assert x.integers(0, 10**6) == y.integers(0, 10**6)
+
+    def test_zero_count(self):
+        assert spawn_rngs(make_rng(0), 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_rngs(make_rng(0), -1)

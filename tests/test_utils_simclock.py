@@ -1,0 +1,89 @@
+"""Tests for repro.utils.simclock."""
+
+import pytest
+
+from repro.utils.simclock import SimClock, max_clock
+
+
+class TestAdvance:
+    def test_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.elapsed == 2.0
+
+    def test_category_split(self):
+        clock = SimClock()
+        clock.advance(1.0, "compute")
+        clock.advance(2.0, "communication")
+        clock.advance(1.0, "compute")
+        assert clock.category("compute") == 2.0
+        assert clock.category("communication") == 2.0
+
+    def test_unknown_category_is_zero(self):
+        assert SimClock().category("nope") == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            SimClock().advance(-0.1)
+
+    def test_zero_advance_allowed(self):
+        clock = SimClock()
+        clock.advance(0.0)
+        assert clock.elapsed == 0.0
+
+
+class TestFraction:
+    def test_fraction(self):
+        clock = SimClock()
+        clock.advance(3.0, "communication")
+        clock.advance(1.0, "compute")
+        assert clock.fraction("communication") == pytest.approx(0.75)
+
+    def test_fraction_empty_clock(self):
+        assert SimClock().fraction("compute") == 0.0
+
+
+class TestMergeCopyReset:
+    def test_merge(self):
+        a, b = SimClock(), SimClock()
+        a.advance(1.0, "compute")
+        b.advance(2.0, "compute")
+        b.advance(1.0, "communication")
+        a.merge(b)
+        assert a.elapsed == 4.0
+        assert a.category("compute") == 3.0
+
+    def test_copy_is_independent(self):
+        a = SimClock()
+        a.advance(1.0, "compute")
+        b = a.copy()
+        b.advance(5.0, "compute")
+        assert a.elapsed == 1.0
+        assert b.elapsed == 6.0
+
+    def test_reset(self):
+        a = SimClock()
+        a.advance(1.0, "x")
+        a.reset()
+        assert a.elapsed == 0.0
+        assert a.category("x") == 0.0
+
+
+class TestMaxClock:
+    def test_picks_slowest(self):
+        a, b = SimClock(), SimClock()
+        a.advance(1.0)
+        b.advance(3.0)
+        assert max_clock([a, b]).elapsed == 3.0
+
+    def test_returns_copy(self):
+        a = SimClock()
+        a.advance(1.0)
+        m = max_clock([a])
+        m.advance(1.0)
+        assert a.elapsed == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            max_clock([])

@@ -1,0 +1,41 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "longer" in lines[3]
+        # All rows align on the same column start for "value".
+        assert lines[0].index("value") == lines[2].index("1")
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_precision(self):
+        text = format_table(["x"], [[1.23456]], precision=2)
+        assert "1.23" in text
+        assert "1.235" not in text
+
+    def test_int_not_float_formatted(self):
+        text = format_table(["x"], [[7]])
+        assert "7.000" not in text
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError, match="headers"):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+    def test_no_trailing_whitespace(self):
+        text = format_table(["a", "b"], [["x", "y"]])
+        for line in text.splitlines():
+            assert line == line.rstrip()
