@@ -1,0 +1,90 @@
+"""Serving quickstart: train, checkpoint, and serve link-prediction queries.
+
+End-to-end tour of ``repro.serving``:
+
+1. train HET-KG-D briefly on a synthetic FB15k and write a checkpoint,
+2. reload the checkpoint into an :class:`EmbeddingStore` sharded over
+   4 simulated machines,
+3. generate a Zipfian query stream calibrated to the graph's hotness
+   skew,
+4. profile a warmup prefix into a static hot set (the training-side
+   filtering algorithm, reused),
+5. replay the measured stream under no cache / static hot set / LRU and
+   compare throughput, latency percentiles, and hit ratio.
+
+Run:  python examples/serving_quickstart.py
+"""
+
+import tempfile
+
+from repro import TrainingConfig, generate_dataset, make_trainer, split_triples
+from repro.core.checkpoint import save_checkpoint
+from repro.serving import (
+    EmbeddingStore,
+    QueryBatcher,
+    ServingCache,
+    ServingFrontend,
+    ServingReport,
+    WorkloadSpec,
+    ZipfianWorkload,
+)
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    # 1. Train a small model and checkpoint it.
+    graph = generate_dataset("fb15k", scale=0.05, seed=0)
+    split = split_triples(graph, seed=0)
+    trainer = make_trainer(
+        "hetkg-d",
+        TrainingConfig(model="transe", dim=16, epochs=3, num_machines=4, seed=0),
+    )
+    trainer.train(split.train)
+    checkpoint = tempfile.NamedTemporaryFile(suffix=".npz", delete=False)
+    save_checkpoint(trainer, checkpoint.name)
+    print(f"trained and checkpointed: {graph}")
+
+    # 2. Reload into a serving store (4 shards, round-robin ownership).
+    store = EmbeddingStore.from_checkpoint(checkpoint.name, num_machines=4)
+    print(f"serving store: {store}")
+
+    # 3. A Zipfian stream whose hot entities are the graph's hot entities.
+    spec = WorkloadSpec(
+        num_queries=6000, arrival_rate=2000.0, zipf_exponent=1.1, seed=1
+    )
+    workload = ZipfianWorkload.from_graph(graph, spec)
+    stream = workload.generate()
+    warmup, measured = stream.queries[:1500], stream.queries[1500:]
+
+    # 4. Pin a hot set covering ~10% of all embedding rows, profiled from
+    #    the warmup log with the paper's filtering algorithm.
+    capacity = max(2, int(0.1 * (store.num_entities + store.num_relations)))
+    from repro.serving.queries import QueryLog
+
+    static = ServingCache.from_query_log(QueryLog(warmup), capacity)
+
+    # 5. Compare cache-off, static hot set, and reactive LRU.
+    rows = []
+    for label, cache in (
+        ("no-cache", None),
+        ("static hot set", static),
+        ("lru", ServingCache.dynamic(capacity, policy="lru")),
+    ):
+        frontend = ServingFrontend(
+            store,
+            batcher=QueryBatcher(max_batch=32, max_wait=2e-3),
+            cache=cache,
+            byte_scale=25.0,  # charge wire bytes at the paper's d=400
+        )
+        report = frontend.run(measured, label=label)
+        rows.append(report.as_row())
+    print(format_table(ServingReport.headers(), rows, title="serving comparison"))
+    print(
+        "\nThe static hot set (profiled once, never evicted) matches or "
+        "beats LRU here\nbecause the Zipf head is stable — the same "
+        "observation HET-KG exploits in training."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -37,6 +37,15 @@ from repro.kg.splits import Split, split_triples
 from repro.models.base import get_model, KGEModel, MODEL_REGISTRY
 from repro.cache.strategies import ConstantPartialStale, DynamicPartialStale
 from repro.cache.sync import HotEmbeddingCache
+from repro.serving import (
+    EmbeddingStore,
+    QueryBatcher,
+    ServingCache,
+    ServingFrontend,
+    ServingReport,
+    WorkloadSpec,
+    ZipfianWorkload,
+)
 
 __version__ = "1.0.0"
 
@@ -71,5 +80,12 @@ __all__ = [
     "ConstantPartialStale",
     "DynamicPartialStale",
     "HotEmbeddingCache",
+    "EmbeddingStore",
+    "QueryBatcher",
+    "ServingCache",
+    "ServingFrontend",
+    "ServingReport",
+    "WorkloadSpec",
+    "ZipfianWorkload",
     "__version__",
 ]

@@ -14,8 +14,6 @@ import heapq
 from collections import defaultdict
 from typing import Sequence
 
-import numpy as np
-
 from repro.utils.validation import check_positive
 
 #: Sentinel "next use" for keys never used again.

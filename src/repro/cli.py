@@ -81,6 +81,58 @@ def _build_parser() -> argparse.ArgumentParser:
         "--checkpoint", default=None, help="write final embeddings here (.npz)"
     )
 
+    serve = sub.add_parser(
+        "serve-bench",
+        help="replay a Zipfian inference workload against a trained model",
+    )
+    serve.add_argument(
+        "--checkpoint",
+        default=None,
+        help="serve this .npz checkpoint instead of training a fresh model",
+    )
+    serve.add_argument("--dataset", default="fb15k", help="dataset to train on")
+    serve.add_argument("--scale", type=float, default=0.05, help="dataset scale")
+    serve.add_argument("--epochs", type=int, default=2, help="training epochs")
+    serve.add_argument("--machines", type=int, default=4, help="store shards")
+    serve.add_argument("--queries", type=int, default=4000, help="stream length")
+    serve.add_argument(
+        "--rate", type=float, default=2000.0, help="arrival rate (queries/s)"
+    )
+    serve.add_argument(
+        "--zipf", type=float, default=1.1, help="workload Zipf exponent"
+    )
+    serve.add_argument(
+        "--candidates", type=int, default=16, help="candidates per prediction query"
+    )
+    serve.add_argument(
+        "--hot-fraction",
+        type=float,
+        default=0.1,
+        help="cache capacity as a fraction of all embedding rows",
+    )
+    serve.add_argument(
+        "--cache-policy",
+        default="static",
+        choices=["static", "lru", "lfu", "fifo", "arc", "none"],
+        help="serving cache variant (static = log-profiled hot set)",
+    )
+    serve.add_argument("--max-batch", type=int, default=32, help="batcher capacity")
+    serve.add_argument(
+        "--max-wait", type=float, default=2e-3, help="batcher timeout (s)"
+    )
+    serve.add_argument(
+        "--byte-scale",
+        type=float,
+        default=25.0,
+        help="wire-dimension byte multiplier (trainer default: 400/16)",
+    )
+    serve.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the cache-off comparison run",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+
     sweep = sub.add_parser(
         "sweep", help="sweep one TrainingConfig field and tabulate outcomes"
     )
@@ -172,6 +224,86 @@ def _train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_bench(args: argparse.Namespace) -> int:
+    """The ``serve-bench`` subcommand: checkpoint/train -> workload -> SLOs."""
+    from repro.experiments.serving_study import (
+        serve_once,
+        split_warmup,
+        trained_store,
+    )
+    from repro.serving.cache import ServingCache
+    from repro.serving.store import EmbeddingStore
+    from repro.serving.workload import WorkloadSpec, ZipfianWorkload
+    from repro.utils.tables import format_table
+    from repro.serving.metrics import ServingReport
+
+    spec = WorkloadSpec(
+        num_queries=args.queries,
+        arrival_rate=args.rate,
+        zipf_exponent=args.zipf,
+        num_candidates=args.candidates,
+        seed=args.seed + 11,
+    )
+    if args.checkpoint is not None:
+        store = EmbeddingStore.from_checkpoint(
+            args.checkpoint, num_machines=args.machines
+        )
+        workload = ZipfianWorkload(store.num_entities, store.num_relations, spec)
+        print(f"serving checkpoint {args.checkpoint}: {store}")
+    else:
+        store, bundle = trained_store(
+            dataset=args.dataset, scale=args.scale, seed=args.seed, epochs=args.epochs
+        )
+        workload = ZipfianWorkload.from_graph(bundle.graph, spec)
+        print(f"trained {args.dataset} @ scale {args.scale}: {store}")
+
+    warmup, measured = split_warmup(workload.generate())
+    capacity = max(
+        2, int(args.hot_fraction * (store.num_entities + store.num_relations))
+    )
+    if args.cache_policy == "none":
+        cache = None
+    elif args.cache_policy == "static":
+        cache = ServingCache.from_query_log(warmup, capacity)
+    else:
+        cache = ServingCache.dynamic(capacity, policy=args.cache_policy)
+
+    def _run(cache_obj, label):
+        return serve_once(
+            store,
+            measured,
+            cache_obj,
+            max_batch=args.max_batch,
+            max_wait=args.max_wait,
+            byte_scale=args.byte_scale,
+            label=label,
+        )
+
+    rows = []
+    if not args.no_baseline:
+        rows.append(_run(None, "no-cache").as_row())
+    report = _run(cache, args.cache_policy if cache is not None else "no-cache")
+    rows.append(report.as_row())
+    print(
+        format_table(
+            ServingReport.headers(),
+            rows,
+            title=(
+                f"[serve-bench] {len(measured)} measured queries, "
+                f"cache capacity {capacity} rows"
+            ),
+        )
+    )
+    print(
+        f"throughput {report.throughput:.0f} q/s | "
+        f"p50 {report.latency_p50 * 1e3:.3f} ms | "
+        f"p95 {report.latency_p95 * 1e3:.3f} ms | "
+        f"p99 {report.latency_p99 * 1e3:.3f} ms | "
+        f"hit ratio {report.hit_ratio:.3f}"
+    )
+    return 0
+
+
 def _parse_value(text: str):
     """Best-effort scalar parsing for sweep values."""
     for caster in (int, float):
@@ -230,12 +362,28 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "train":
         return _train(args)
 
+    if args.command == "serve-bench":
+        return _serve_bench(args)
+
     if args.command == "sweep":
         return _sweep(args)
 
     names = list_experiments() if args.experiment == "all" else [args.experiment]
     for name in names:
-        runner = get_experiment(name)
+        try:
+            runner = get_experiment(name)
+        except KeyError:
+            import difflib
+
+            valid = list_experiments()
+            close = difflib.get_close_matches(name, valid, n=3, cutoff=0.4)
+            print(f"unknown experiment {name!r}", file=sys.stderr)
+            if close:
+                print(
+                    "did you mean: " + ", ".join(close), file=sys.stderr
+                )
+            print("valid ids: " + ", ".join(valid), file=sys.stderr)
+            return 2
         start = time.time()
         result = runner(**_runner_kwargs(runner, args))
         print(result.to_text())

@@ -26,7 +26,7 @@ from repro.core.config import TrainingConfig
 from repro.core.convergence import HistoryPoint, TrainingHistory
 from repro.core.evaluation import LinkPredictionResult, evaluate_link_prediction
 from repro.core.trainer import HETKGTrainer, TrainResult
-from repro.kg.graph import HEAD, TAIL, KnowledgeGraph
+from repro.kg.graph import KnowledgeGraph
 from repro.models.base import get_model
 from repro.models.losses import get_loss
 from repro.optim import get_optimizer

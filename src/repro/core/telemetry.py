@@ -51,6 +51,13 @@ class Telemetry:
     def total_remote_bytes(self) -> int:
         return sum(r.remote_bytes for r in self.records)
 
+    def hit_ratio(self) -> float:
+        """Aggregate cache hit ratio over every recorded step."""
+        hits = sum(r.cache_hits for r in self.records)
+        misses = sum(r.cache_misses for r in self.records)
+        total = hits + misses
+        return hits / total if total else 0.0
+
     def summary(self) -> dict[str, float]:
         """Aggregate statistics over all recorded steps."""
         if not self.records:
@@ -67,23 +74,48 @@ class Telemetry:
 
     # ------------------------------------------------------------------- I/O
 
+    _CSV_FIELDS = (
+        "worker",
+        "iteration",
+        "loss",
+        "local_bytes",
+        "remote_bytes",
+        "sim_time",
+        "cache_hits",
+        "cache_misses",
+    )
+
     def to_csv(self, path: str | os.PathLike[str]) -> None:
         """Write all records as CSV (one row per worker step)."""
-        fields = [
-            "worker",
-            "iteration",
-            "loss",
-            "local_bytes",
-            "remote_bytes",
-            "sim_time",
-            "cache_hits",
-            "cache_misses",
-        ]
-        with open(path, "w", newline="", encoding="utf-8") as f:
+        self.export_csv(path, append=False)
+
+    def export_csv(
+        self,
+        path: str | os.PathLike[str],
+        append: bool = False,
+        clear: bool = False,
+    ) -> None:
+        """Write records to ``path``; optionally append and drop them.
+
+        Long serving/training runs checkpoint telemetry periodically:
+        ``export_csv(path, append=True, clear=True)`` flushes the records
+        gathered since the last call and frees them, so memory stays
+        bounded by the flush interval instead of the run length.  The
+        header is written only when the file does not yet exist (or is
+        being truncated).
+        """
+        write_header = not append or not os.path.exists(path) or (
+            os.path.getsize(path) == 0
+        )
+        mode = "a" if append else "w"
+        with open(path, mode, newline="", encoding="utf-8") as f:
             writer = csv.writer(f)
-            writer.writerow(fields)
+            if write_header:
+                writer.writerow(self._CSV_FIELDS)
             for r in self.records:
-                writer.writerow([getattr(r, name) for name in fields])
+                writer.writerow([getattr(r, name) for name in self._CSV_FIELDS])
+        if clear:
+            self.records.clear()
 
     @classmethod
     def from_csv(cls, path: str | os.PathLike[str]) -> "Telemetry":

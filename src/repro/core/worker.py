@@ -19,8 +19,6 @@ model; every score/backprop advances it through the compute model.  With
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.cache.strategies import HotEmbeddingStrategy
 from repro.cache.sync import HotEmbeddingCache
 from repro.core.compute import compute_batch_gradients

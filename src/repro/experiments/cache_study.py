@@ -19,13 +19,11 @@ from repro.cache.policies import (
     replay_trace,
 )
 from repro.experiments.common import (
-    SYSTEM_LABELS,
     ExperimentResult,
     base_config,
     dataset_bundle,
     run_system,
 )
-from repro.kg.graph import HEAD, REL, TAIL
 from repro.sampling.minibatch import EpochSampler
 from repro.sampling.negative import NegativeSampler
 from repro.utils.rng import make_rng

@@ -35,12 +35,19 @@ def run_table1(
                 result.compute_time,
                 result.communication_time,
                 result.communication_fraction,
+                result.comm_totals.total_messages,
             ]
         )
     return ExperimentResult(
         experiment_id="table1",
         title="DGL-KE time breakdown (TransE): communication dominates",
-        headers=["dataset", "compute (s)", "communication (s)", "comm fraction"],
+        headers=[
+            "dataset",
+            "compute (s)",
+            "communication (s)",
+            "comm fraction",
+            "messages",
+        ],
         rows=rows,
         notes="paper: communication >70% of end-to-end time on Freebase-86m",
     )

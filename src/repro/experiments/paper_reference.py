@@ -191,5 +191,22 @@ PAPER_REFERENCES: dict[str, PaperReference] = {
             "not evaluate.",
             "fp16/int8 halve/quarter remote bytes with negligible MRR cost",
         ),
+        PaperReference(
+            "serving-cache",
+            "(extension beyond the paper)",
+            "n/a — the paper studies training; this applies its hotness "
+            "observation (Fig. 2) to inference serving.",
+            "a static hot set profiled from a warmup log raises hit ratio, "
+            "cuts remote traffic, and lowers p99 latency versus no cache, "
+            "matching or beating LRU at equal capacity",
+        ),
+        PaperReference(
+            "serving-batcher",
+            "(extension beyond the paper)",
+            "n/a — micro-batching is a serving-side lever with no training "
+            "analogue in the paper.",
+            "larger micro-batches raise throughput while bounded batching "
+            "delay keeps tail latency near max_wait",
+        ),
     ]
 }

@@ -24,6 +24,7 @@ from repro.experiments.cache_study import (
 from repro.experiments.common import ExperimentResult
 from repro.experiments.efficiency import run_fig5, run_fig6, run_fig7
 from repro.experiments.microbench import run_fig2, run_table1, run_table2
+from repro.experiments.serving_study import run_serving_batcher, run_serving_cache
 
 #: Every reproducible table/figure, keyed by the paper's numbering.
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
@@ -48,6 +49,8 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ablation-compression": run_ablation_compression,
     "ablation-policies-extended": run_policies_extended,
     "ablation-model-zoo": run_model_zoo,
+    "serving-cache": run_serving_cache,
+    "serving-batcher": run_serving_batcher,
 }
 
 

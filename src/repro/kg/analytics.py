@@ -13,7 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.kg.graph import KnowledgeGraph
-from repro.kg.stats import gini, top_fraction_share
+from repro.kg.stats import gini
 from repro.utils.validation import check_positive
 
 

@@ -43,6 +43,10 @@ class CommRecord:
     def total_bytes(self) -> int:
         return self.local_bytes + self.remote_bytes
 
+    @property
+    def total_messages(self) -> int:
+        return self.local_messages + self.remote_messages
+
 
 @dataclass
 class NetworkModel:

@@ -1,0 +1,115 @@
+"""Micro-batching of inference queries.
+
+Scoring one triple at a time wastes both the vectorised score kernels and
+the per-message network budget: a cache miss costs one round trip whether
+it fetches one row or a hundred.  The batcher therefore holds arriving
+queries until either
+
+* ``max_batch`` queries are pending (**flush-on-full**), or
+* the *oldest* pending query has waited ``max_wait`` simulated seconds
+  (**flush-on-timeout**),
+
+whichever comes first.  ``max_wait`` bounds the queueing latency a lone
+query can suffer at low load; ``max_batch`` bounds the work per dispatch
+at high load — the classic throughput/latency knob pair.
+
+The batcher is time-agnostic: it never reads a clock, it only compares
+the timestamps the driver hands it.  That keeps it deterministic and
+directly unit-testable.
+"""
+
+from __future__ import annotations
+
+from repro.serving.queries import Query
+from repro.utils.validation import check_positive
+
+
+class QueryBatcher:
+    """Accumulate queries into dispatchable micro-batches.
+
+    Parameters
+    ----------
+    max_batch:
+        Flush as soon as this many queries are pending.
+    max_wait:
+        Flush when the oldest pending query has waited this long
+        (simulated seconds).  ``0`` disables batching-by-time: every
+        query's deadline is its own arrival, so batches only form when
+        queries arrive at the same instant or the server is busy.
+    """
+
+    def __init__(self, max_batch: int = 32, max_wait: float = 2e-3) -> None:
+        check_positive("max_batch", max_batch)
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be non-negative, got {max_wait}")
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self._pending: list[Query] = []
+        #: Dispatch statistics.
+        self.batches_emitted = 0
+        self.queries_offered = 0
+        self.full_flushes = 0
+        self.timeout_flushes = 0
+
+    # ------------------------------------------------------------------ state
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending(self) -> tuple[Query, ...]:
+        return tuple(self._pending)
+
+    def deadline(self) -> float | None:
+        """Simulated time at which the pending batch must flush.
+
+        ``None`` when nothing is pending.  Queries are offered in arrival
+        order, so the oldest pending query is always ``pending[0]``.
+        """
+        if not self._pending:
+            return None
+        return self._pending[0].arrival + self.max_wait
+
+    # ------------------------------------------------------------------ flow
+
+    def offer(self, query: Query) -> list[Query] | None:
+        """Add ``query``; return a batch iff this fill triggered a flush."""
+        if self._pending and query.arrival < self._pending[-1].arrival:
+            raise ValueError(
+                f"queries must be offered in arrival order: got {query.arrival} "
+                f"after {self._pending[-1].arrival}"
+            )
+        self.queries_offered += 1
+        self._pending.append(query)
+        if len(self._pending) >= self.max_batch:
+            self.full_flushes += 1
+            return self._drain()
+        return None
+
+    def poll(self, now: float) -> list[Query] | None:
+        """Flush-on-timeout check: return the pending batch iff its
+        deadline is at or before ``now``."""
+        deadline = self.deadline()
+        if deadline is not None and deadline <= now:
+            self.timeout_flushes += 1
+            return self._drain()
+        return None
+
+    def drain(self) -> list[Query]:
+        """Unconditionally flush whatever is pending (end of stream)."""
+        if self._pending:
+            self.timeout_flushes += 1
+        return self._drain()
+
+    def _drain(self) -> list[Query]:
+        batch, self._pending = self._pending, []
+        if batch:
+            self.batches_emitted += 1
+        return batch
+
+    @property
+    def mean_batch_size(self) -> float:
+        if self.batches_emitted == 0:
+            return 0.0
+        drained = self.queries_offered - len(self._pending)
+        return drained / self.batches_emitted

@@ -1,0 +1,179 @@
+"""Hotness-aware inference cache.
+
+The same skew that motivates the training cache (Fig. 2) dominates the
+inference stream: a small hot set of entities/relations absorbs most
+query traffic.  The serving cache keeps that hot set frontend-local so a
+hit avoids the pull to the owning shard entirely.
+
+Two variants, mirroring the paper's training-side strategies:
+
+* **static** (CPS-style) — the hot set is computed once from a query-log
+  frequency profile with the training code path
+  (:func:`repro.cache.filtering.filter_hot_ids`, Alg. 2) and pinned;
+  nothing is ever evicted.  The ``entity_ratio`` knob carries over: the
+  heterogeneity fix matters at inference too, since every query touches
+  a relation row.
+* **dynamic** — a reactive eviction policy per table
+  (:mod:`repro.cache.policies` LRU/LFU/FIFO/ARC...), for workloads whose
+  hot set drifts faster than the log can be re-profiled.
+
+Serving never writes embeddings, so there is no staleness protocol: a
+cached row is exactly the checkpointed row.  (Online refresh after a
+model swap is future work — the cache only needs ``invalidate()``.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.filtering import HotSet, filter_hot_ids
+from repro.cache.policies import (
+    ARCCache,
+    EvictionPolicy,
+    FIFOCache,
+    LFUCache,
+    LRUCache,
+)
+from repro.utils.validation import check_positive
+
+#: Dynamic policy registry for :meth:`ServingCache.dynamic`.
+DYNAMIC_POLICIES: dict[str, type[EvictionPolicy]] = {
+    "lru": LRUCache,
+    "lfu": LFUCache,
+    "fifo": FIFOCache,
+    "arc": ARCCache,
+}
+
+
+class ServingCache:
+    """Frontend-local cache over entity and relation rows.
+
+    Use the constructors :meth:`static`, :meth:`from_query_log`, or
+    :meth:`dynamic` rather than ``__init__`` directly.
+    """
+
+    def __init__(
+        self,
+        pinned: dict[str, set[int]] | None = None,
+        policies: dict[str, EvictionPolicy] | None = None,
+        label: str = "static",
+    ) -> None:
+        if (pinned is None) == (policies is None):
+            raise ValueError("provide exactly one of pinned / policies")
+        self._pinned = pinned
+        self._policies = policies
+        self.label = label
+        self.hits = 0
+        self.misses = 0
+
+    # ----------------------------------------------------------- constructors
+
+    @classmethod
+    def static(cls, hot_set: HotSet) -> "ServingCache":
+        """Pin a pre-computed :class:`~repro.cache.filtering.HotSet`."""
+        pinned = {
+            "entity": set(hot_set.entities.tolist()),
+            "relation": set(hot_set.relations.tolist()),
+        }
+        return cls(pinned=pinned, label="static")
+
+    @classmethod
+    def from_query_log(
+        cls,
+        log,
+        capacity: int,
+        entity_ratio: float | None = 0.25,
+    ) -> "ServingCache":
+        """Profile a :class:`~repro.serving.queries.QueryLog` and pin the
+        resulting hot set (the serving analogue of prefetch -> filter)."""
+        check_positive("capacity", capacity)
+        entity_counts, relation_counts = log.access_counts()
+        hot = filter_hot_ids(
+            entity_counts, relation_counts, capacity, entity_ratio
+        )
+        return cls.static(hot)
+
+    @classmethod
+    def dynamic(
+        cls,
+        capacity: int,
+        policy: str = "lru",
+        entity_ratio: float = 0.25,
+    ) -> "ServingCache":
+        """Reactive cache: one eviction policy instance per table.
+
+        ``entity_ratio`` splits ``capacity`` between the entity and
+        relation policies, like the static filter's slot split.
+        """
+        check_positive("capacity", capacity)
+        try:
+            policy_cls = DYNAMIC_POLICIES[policy]
+        except KeyError:
+            raise KeyError(
+                f"unknown policy {policy!r}; available: {sorted(DYNAMIC_POLICIES)}"
+            ) from None
+        entity_slots = max(1, int(round(capacity * entity_ratio)))
+        relation_slots = max(1, capacity - entity_slots)
+        policies = {
+            "entity": policy_cls(entity_slots),
+            "relation": policy_cls(relation_slots),
+        }
+        return cls(policies=policies, label=policy)
+
+    # ----------------------------------------------------------------- lookup
+
+    def lookup(self, kind: str, ids: np.ndarray) -> np.ndarray:
+        """Boolean hit mask for ``ids`` (dynamic caches admit misses).
+
+        ``ids`` should already be deduplicated by the caller — the
+        frontend looks up each distinct row once per batch, matching how
+        a real dispatch gathers unique rows.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if self._pinned is not None:
+            members = self._pinned[kind]
+            mask = np.fromiter(
+                (int(i) in members for i in ids), dtype=bool, count=len(ids)
+            )
+        else:
+            policy = self._policies[kind]
+            mask = np.fromiter(
+                (policy.access(int(i)) for i in ids), dtype=bool, count=len(ids)
+            )
+        hits = int(mask.sum())
+        self.hits += hits
+        self.misses += len(ids) - hits
+        return mask
+
+    # ------------------------------------------------------------------ stats
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def size(self) -> int:
+        """Rows currently resident (pinned or admitted)."""
+        if self._pinned is not None:
+            return sum(len(s) for s in self._pinned.values())
+        return sum(len(p) for p in self._policies.values())
+
+    def invalidate(self) -> None:
+        """Drop all cached rows (e.g. after a checkpoint swap)."""
+        if self._pinned is not None:
+            for members in self._pinned.values():
+                members.clear()
+        else:
+            for kind, policy in list(self._policies.items()):
+                fresh = type(policy)(policy.capacity)
+                self._policies[kind] = fresh
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ServingCache(label={self.label!r}, size={self.size()}, "
+            f"hit_ratio={self.hit_ratio:.3f})"
+        )

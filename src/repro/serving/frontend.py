@@ -1,0 +1,218 @@
+"""The serving frontend: replay a query stream against the store.
+
+One frontend models one inference server co-located with shard
+``machine`` of the embedding store.  For every dispatched micro-batch it
+
+1. gathers the **unique** entity/relation rows the batch touches,
+2. looks them up in the :class:`~repro.serving.cache.ServingCache`
+   (when configured) — hits cost nothing, misses are pulled from their
+   owning shard through the same :class:`~repro.ps.network.NetworkModel`
+   cost model training uses,
+3. scores the batch (real numerics — answers are exact, only *time* is
+   simulated) and charges :class:`~repro.ps.network.ComputeModel` time,
+4. stamps each query's completion with the frontend's
+   :class:`~repro.utils.simclock.SimClock`.
+
+The event loop is deterministic: queries are consumed in arrival order,
+flush-on-timeout events fire at exact batcher deadlines, and a busy
+server naturally queues work (a batch triggered at time *t* starts at
+``max(clock, t)``; the gap is accounted as queueing inside each query's
+latency).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.ps.network import (
+    BYTES_PER_ELEMENT,
+    CommRecord,
+    ComputeModel,
+    NetworkModel,
+)
+from repro.serving.batcher import QueryBatcher
+from repro.serving.cache import ServingCache
+from repro.serving.metrics import ServingReport, aggregate_results
+from repro.serving.queries import SCORE, Query, QueryResult
+from repro.serving.store import EmbeddingStore
+from repro.utils.simclock import SimClock
+
+
+class ServingFrontend:
+    """Single-node inference server over a sharded embedding store.
+
+    Parameters
+    ----------
+    store:
+        The trained embeddings + model.
+    batcher:
+        Micro-batching policy (default: batches of 32, 2 ms max wait).
+    cache:
+        Optional hot-row cache; ``None`` means every row is pulled from
+        its owning shard on every batch (the cache-off baseline).
+    network / compute:
+        Cost models; defaults match the training testbed
+        (:class:`NetworkModel`, :class:`ComputeModel` defaults).
+    machine:
+        Which shard the frontend is co-located with; rows owned by other
+        shards cost remote traffic.
+    top_k:
+        Answer size for prediction queries.
+    byte_scale:
+        Multiplier on metered bytes, mirroring the trainer's
+        ``TrainingConfig.byte_scale`` wire-dimension correction.
+    """
+
+    def __init__(
+        self,
+        store: EmbeddingStore,
+        batcher: QueryBatcher | None = None,
+        cache: ServingCache | None = None,
+        network: NetworkModel | None = None,
+        compute: ComputeModel | None = None,
+        machine: int = 0,
+        top_k: int = 10,
+        byte_scale: float = 1.0,
+    ) -> None:
+        if byte_scale <= 0:
+            raise ValueError(f"byte_scale must be positive, got {byte_scale}")
+        if not 0 <= machine < store.store.num_machines:
+            raise ValueError(
+                f"machine {machine} out of range for "
+                f"{store.store.num_machines} shards"
+            )
+        self.store = store
+        self.batcher = batcher if batcher is not None else QueryBatcher()
+        self.cache = cache
+        self.network = network if network is not None else NetworkModel()
+        self.compute = compute if compute is not None else ComputeModel()
+        self.machine = machine
+        self.top_k = top_k
+        self.byte_scale = byte_scale
+        self.clock = SimClock()
+        self.results: list[QueryResult] = []
+        self.comm_totals = CommRecord()
+
+    # -------------------------------------------------------------- event loop
+
+    def run(self, queries: Iterable[Query], label: str | None = None) -> ServingReport:
+        """Replay ``queries`` (any iterable, sorted by arrival) and report.
+
+        Can be called repeatedly; state (clock, results, counters)
+        accumulates, matching a long-running server fed several streams.
+        """
+        stream = sorted(queries, key=lambda q: (q.arrival, q.qid))
+        for query in stream:
+            # Fire every timeout flush that comes due before this arrival.
+            while True:
+                deadline = self.batcher.deadline()
+                if deadline is None or deadline > query.arrival:
+                    break
+                batch = self.batcher.poll(deadline)
+                assert batch, "deadline implies a pending batch"
+                self._process(batch, trigger=deadline)
+            full = self.batcher.offer(query)
+            if full:
+                self._process(full, trigger=query.arrival)
+        # End of stream: drain the last partial batch at its deadline.
+        deadline = self.batcher.deadline()
+        tail = self.batcher.drain()
+        if tail:
+            self._process(tail, trigger=deadline if deadline is not None else 0.0)
+        return self.report(label=label)
+
+    def _process(self, batch: Sequence[Query], trigger: float) -> None:
+        """Dispatch one micro-batch triggered at simulated time ``trigger``."""
+        if trigger > self.clock.elapsed:
+            # Server idle until the batch was triggered.
+            self.clock.advance(trigger - self.clock.elapsed, "idle")
+
+        entity_ids = np.unique(np.concatenate([q.entity_ids() for q in batch]))
+        relation_ids = np.unique(np.concatenate([q.relation_ids() for q in batch]))
+        comm = CommRecord()
+        for kind, ids in (("entity", entity_ids), ("relation", relation_ids)):
+            if self.cache is not None:
+                hit_mask = self.cache.lookup(kind, ids)
+                miss_ids = ids[~hit_mask]
+            else:
+                miss_ids = ids
+            if len(miss_ids):
+                comm.merge(self._meter(kind, miss_ids))
+        self.comm_totals.merge(comm)
+        self.clock.advance(self.network.time_for(comm), "communication")
+
+        num_scores = sum(q.num_scores for q in batch)
+        self.clock.advance(
+            self.compute.batch_time(num_scores, self.store.model.dim, backward=False),
+            "compute",
+        )
+        completion = self.clock.elapsed
+        for query in batch:
+            self.results.append(
+                QueryResult(
+                    qid=query.qid,
+                    kind=query.kind,
+                    arrival=query.arrival,
+                    completion=completion,
+                    batch_size=len(batch),
+                    answer=self._answer(query),
+                )
+            )
+
+    def _meter(self, kind: str, miss_ids: np.ndarray) -> CommRecord:
+        """Traffic to pull ``miss_ids`` to this frontend (mirrors
+        :meth:`repro.ps.server.ParameterServer._meter`)."""
+        row_bytes = (
+            self.store.store.row_width(kind) * BYTES_PER_ELEMENT * self.byte_scale
+        )
+        local_ids, remote_ids = self.store.store.split_local_remote(
+            kind, miss_ids, self.machine
+        )
+        remote_shards = self.store.store.remote_machine_count(
+            kind, miss_ids, self.machine
+        )
+        return CommRecord(
+            local_bytes=int(len(local_ids) * row_bytes),
+            remote_bytes=int(len(remote_ids) * row_bytes),
+            local_messages=1 if len(local_ids) else 0,
+            remote_messages=remote_shards,
+        )
+
+    def _answer(self, query: Query) -> float | np.ndarray:
+        """Compute the query's actual answer (exact numerics)."""
+        if query.kind == SCORE:
+            return float(
+                self.store.score_triples(
+                    np.asarray([query.head]),
+                    np.asarray([query.relation]),
+                    np.asarray([query.tail]),
+                )[0]
+            )
+        candidates = np.asarray(query.candidates, dtype=np.int64)
+        if query.kind == "tail":
+            return self.store.rank_candidates(
+                query.head, query.relation, None, candidates, k=self.top_k
+            )
+        return self.store.rank_candidates(
+            None, query.relation, query.tail, candidates, k=self.top_k
+        )
+
+    # ----------------------------------------------------------------- report
+
+    def report(self, label: str | None = None) -> ServingReport:
+        """Aggregate everything served so far into a report."""
+        if label is None:
+            label = self.cache.label if self.cache is not None else "no-cache"
+        return aggregate_results(
+            label=label,
+            results=self.results,
+            hit_ratio=self.cache.hit_ratio if self.cache is not None else 0.0,
+            comm=self.comm_totals,
+            num_batches=self.batcher.batches_emitted,
+            mean_batch_size=self.batcher.mean_batch_size,
+            compute_time=self.clock.category("compute"),
+            communication_time=self.clock.category("communication"),
+            idle_time=self.clock.category("idle"),
+        )

@@ -1,0 +1,126 @@
+"""Serving-side metrics: latency percentiles and the benchmark report.
+
+Serving quality is judged against latency SLOs ("p99 under X ms"), not
+means — micro-batching in particular trades *mean* latency for
+throughput while the tail is governed by ``max_wait`` plus queueing.
+This module aggregates per-query completions into the standard SLO
+report: throughput, p50/p95/p99, hit ratio, and the communication
+footprint of the misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.ps.network import CommRecord
+from repro.serving.queries import QueryResult
+
+
+def latency_percentile(latencies: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) of ``latencies``, 0.0 when empty.
+
+    Uses linear interpolation (numpy's default), so p50 of two samples is
+    their midpoint — deterministic and scale-stable.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    if len(latencies) == 0:
+        return 0.0
+    return float(np.percentile(np.asarray(latencies, dtype=np.float64), q))
+
+
+@dataclass
+class ServingReport:
+    """Aggregate outcome of replaying one query stream through a frontend."""
+
+    label: str
+    num_queries: int
+    duration: float  # simulated seconds from start to last completion
+    latency_mean: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    latency_max: float
+    hit_ratio: float
+    comm: CommRecord = field(default_factory=CommRecord)
+    num_batches: int = 0
+    mean_batch_size: float = 0.0
+    compute_time: float = 0.0
+    communication_time: float = 0.0
+    idle_time: float = 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Served queries per simulated second."""
+        if self.duration <= 0.0:
+            return 0.0
+        return self.num_queries / self.duration
+
+    def as_row(self) -> list:
+        """Columns for the benchmark tables (see ``headers()``)."""
+        return [
+            self.label,
+            self.num_queries,
+            self.throughput,
+            self.latency_p50 * 1e3,
+            self.latency_p95 * 1e3,
+            self.latency_p99 * 1e3,
+            self.hit_ratio,
+            self.comm.remote_bytes / 1e6,
+            self.mean_batch_size,
+        ]
+
+    @staticmethod
+    def headers() -> list[str]:
+        return [
+            "config",
+            "queries",
+            "qps",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+            "hit ratio",
+            "remote MB",
+            "batch size",
+        ]
+
+
+def aggregate_results(
+    label: str,
+    results: Sequence[QueryResult],
+    hit_ratio: float,
+    comm: CommRecord,
+    num_batches: int,
+    mean_batch_size: float,
+    compute_time: float = 0.0,
+    communication_time: float = 0.0,
+    idle_time: float = 0.0,
+) -> ServingReport:
+    """Fold per-query completion records into a :class:`ServingReport`."""
+    latencies = [r.latency for r in results]
+    if results:
+        start = min(r.arrival for r in results)
+        end = max(r.completion for r in results)
+        duration = max(end - start, 0.0)
+    else:
+        duration = 0.0
+    return ServingReport(
+        label=label,
+        num_queries=len(results),
+        duration=duration,
+        latency_mean=float(np.mean(latencies)) if latencies else 0.0,
+        latency_p50=latency_percentile(latencies, 50.0),
+        latency_p95=latency_percentile(latencies, 95.0),
+        latency_p99=latency_percentile(latencies, 99.0),
+        latency_max=max(latencies) if latencies else 0.0,
+        hit_ratio=hit_ratio,
+        comm=comm,
+        num_batches=num_batches,
+        mean_batch_size=mean_batch_size,
+        compute_time=compute_time,
+        communication_time=communication_time,
+        idle_time=idle_time,
+    )

@@ -1,0 +1,172 @@
+"""Read-only embedding store for inference.
+
+Bridges training and serving: a checkpoint written by
+:func:`repro.core.checkpoint.save_checkpoint` is loaded back into the same
+:class:`~repro.ps.kvstore.ShardedKVStore` the trainer used, together with
+the scoring model named in the checkpoint metadata.  The serving frontend
+then pulls rows through the store's ownership map so the simulated
+communication cost of a cache miss matches the training-side cost model.
+
+The store is deliberately read-only — serving never writes embeddings —
+so it can be shared by any number of frontends.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.core.checkpoint import FORMAT_VERSION
+from repro.models.base import KGEModel, get_model
+from repro.ps.kvstore import ShardedKVStore
+from repro.utils.validation import check_positive
+
+
+class EmbeddingStore:
+    """A trained model's embedding tables behind a sharded ownership map.
+
+    Parameters
+    ----------
+    model:
+        The scoring function (geometry must match the tables).
+    store:
+        Sharded tables with per-row ownership; misses on non-local rows
+        are charged as remote traffic by the frontend.
+    """
+
+    def __init__(self, model: KGEModel, store: ShardedKVStore) -> None:
+        ent_width = store.row_width("entity")
+        rel_width = store.row_width("relation")
+        if ent_width != model.entity_dim or rel_width != model.relation_dim:
+            raise ValueError(
+                f"table widths (entity={ent_width}, relation={rel_width}) do "
+                f"not match model geometry (entity={model.entity_dim}, "
+                f"relation={model.relation_dim})"
+            )
+        self.model = model
+        self.store = store
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path: str | os.PathLike[str],
+        num_machines: int = 1,
+        entity_owner: np.ndarray | None = None,
+    ) -> "EmbeddingStore":
+        """Load a ``core/checkpoint.py`` archive into a serving store.
+
+        Parameters
+        ----------
+        num_machines:
+            Simulated shard count for the serving tier.  ``1`` co-locates
+            everything with the frontend (all misses are local pulls).
+        entity_owner:
+            Optional explicit row->shard map (e.g. the training METIS
+            partition).  Defaults to round-robin.
+        """
+        check_positive("num_machines", num_machines)
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta_json"]).decode())
+            if meta.get("format_version") != FORMAT_VERSION:
+                raise ValueError(
+                    f"checkpoint format {meta.get('format_version')} is not "
+                    f"supported (expected {FORMAT_VERSION})"
+                )
+            entity_table = data["entity_table"].copy()
+            relation_table = data["relation_table"].copy()
+        model = get_model(meta["model"], meta["dim"])
+        if entity_owner is None:
+            entity_owner = np.arange(len(entity_table), dtype=np.int64) % num_machines
+        store = ShardedKVStore(
+            entity_table, relation_table, entity_owner, num_machines
+        )
+        return cls(model, store)
+
+    @classmethod
+    def from_trainer(cls, trainer) -> "EmbeddingStore":
+        """Wrap a trained :class:`~repro.core.trainer.HETKGTrainer` in place.
+
+        Zero-copy: the serving store shares the trainer's tables *and* its
+        ownership map, so serving-side shard locality matches the training
+        partition (the co-located layout of §V).
+        """
+        if trainer.server is None:
+            raise RuntimeError("trainer has no state yet; call setup() or train()")
+        return cls(trainer.model, trainer.server.store)
+
+    # ----------------------------------------------------------------- queries
+
+    @property
+    def num_entities(self) -> int:
+        return len(self.store.table("entity"))
+
+    @property
+    def num_relations(self) -> int:
+        return len(self.store.table("relation"))
+
+    def gather(self, kind: str, ids: np.ndarray) -> np.ndarray:
+        """Rows ``ids`` of table ``kind`` (no traffic accounting)."""
+        return self.store.read(kind, ids)
+
+    def score_triples(
+        self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray
+    ) -> np.ndarray:
+        """Plausibility score per ``(h, r, t)`` row of the batch."""
+        h = self.store.table("entity")[np.asarray(heads, dtype=np.int64)]
+        r = self.store.table("relation")[np.asarray(relations, dtype=np.int64)]
+        t = self.store.table("entity")[np.asarray(tails, dtype=np.int64)]
+        return self.model.score(
+            np.ascontiguousarray(h),
+            np.ascontiguousarray(r),
+            np.ascontiguousarray(t),
+        )
+
+    def rank_candidates(
+        self,
+        head: int | None,
+        relation: int,
+        tail: int | None,
+        candidates: np.ndarray,
+        k: int = 10,
+    ) -> np.ndarray:
+        """Top-``k`` candidate entity ids, best first.
+
+        Exactly one of ``head``/``tail`` must be ``None`` — that side is
+        filled from ``candidates``.
+        """
+        if (head is None) == (tail is None):
+            raise ValueError("exactly one of head/tail must be None")
+        candidates = np.asarray(candidates, dtype=np.int64)
+        n = len(candidates)
+        if n == 0:
+            return candidates
+        ent = self.store.table("entity")
+        rel = self.store.table("relation")
+        cand_rows = ent[candidates]
+        r_rows = np.broadcast_to(rel[relation], (n, rel.shape[1]))
+        if head is None:
+            h_rows, t_rows = cand_rows, np.broadcast_to(ent[tail], (n, ent.shape[1]))
+        else:
+            h_rows, t_rows = np.broadcast_to(ent[head], (n, ent.shape[1])), cand_rows
+        scores = self.model.score(
+            np.ascontiguousarray(h_rows),
+            np.ascontiguousarray(r_rows),
+            np.ascontiguousarray(t_rows),
+        )
+        # Descending score; ties broken by candidate id for determinism.
+        order = np.lexsort((candidates, -scores))
+        return candidates[order[: min(k, n)]]
+
+    def memory_bytes(self) -> int:
+        return self.store.memory_bytes()
+
+    def __repr__(self) -> str:
+        return (
+            f"EmbeddingStore(model={self.model.name}, "
+            f"entities={self.num_entities}, relations={self.num_relations}, "
+            f"machines={self.store.num_machines})"
+        )

@@ -5,7 +5,6 @@ byte counters all observe the same underlying events from different
 angles; these tests assert they agree.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.config import TrainingConfig

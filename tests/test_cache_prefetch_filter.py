@@ -1,11 +1,10 @@
 """Tests for Algorithms 1 (prefetch) and 2 (filtering)."""
 
-import numpy as np
 import pytest
 
-from repro.cache.filtering import HotSet, filter_hot_ids
+from repro.cache.filtering import filter_hot_ids
 from repro.cache.prefetch import prefetch
-from repro.kg.graph import HEAD, REL, TAIL
+from repro.kg.graph import HEAD, TAIL
 from repro.sampling.minibatch import EpochSampler
 from repro.sampling.negative import NegativeSampler
 

@@ -25,9 +25,19 @@ class TestRun:
         assert main(["run", "table1", "--scale", "0.015", "--epochs", "1"]) == 0
         assert "[table1]" in capsys.readouterr().out
 
-    def test_unknown_experiment(self):
-        with pytest.raises(KeyError):
-            main(["run", "table99"])
+    def test_unknown_experiment_exits_with_suggestions(self, capsys):
+        assert main(["run", "table99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment 'table99'" in err
+        assert "did you mean" in err
+        assert "table7" in err
+
+    def test_unknown_experiment_lists_valid_ids(self, capsys):
+        # A name nothing like any id still gets the full list.
+        assert main(["run", "zzzzz"]) == 2
+        err = capsys.readouterr().err
+        assert "valid ids" in err
+        assert "table2" in err
 
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
@@ -36,6 +46,41 @@ class TestRun:
     def test_epochs_ignored_when_not_accepted(self, capsys):
         # table2's runner takes no epochs parameter; the flag must not crash.
         assert main(["run", "table2", "--scale", "0.015", "--epochs", "3"]) == 0
+
+
+class TestServeBench:
+    def test_serve_bench_trains_and_serves(self, capsys):
+        rc = main(
+            [
+                "serve-bench", "--dataset", "fb15k", "--scale", "0.015",
+                "--epochs", "1", "--machines", "2", "--queries", "400",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "no-cache" in out
+        assert "p99" in out
+        assert "hit" in out
+
+    def test_serve_bench_from_checkpoint(self, tmp_path, capsys):
+        ckpt = tmp_path / "serve.npz"
+        assert main(
+            [
+                "train", "--dataset", "fb15k", "--scale", "0.015",
+                "--epochs", "1", "--machines", "2", "--eval-queries", "2",
+                "--checkpoint", str(ckpt),
+            ]
+        ) == 0
+        capsys.readouterr()
+        rc = main(
+            [
+                "serve-bench", "--checkpoint", str(ckpt), "--machines", "2",
+                "--queries", "400", "--cache-policy", "lru",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lru" in out
 
 
 class TestTrain:

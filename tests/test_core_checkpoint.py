@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.checkpoint import load_checkpoint, save_checkpoint
 from repro.core.config import TrainingConfig
-from repro.core.trainer import HETKGTrainer, make_trainer
+from repro.core.trainer import HETKGTrainer
 
 
 def quick_config(**overrides):

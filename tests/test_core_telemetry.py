@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.config import TrainingConfig
-from repro.core.telemetry import IterationRecord, Telemetry
+from repro.core.telemetry import Telemetry
 from repro.core.trainer import HETKGTrainer
 
 
@@ -73,6 +73,16 @@ class TestRecording:
         assert all(r.cache_hits == 0 for r in telemetry.records)
         assert telemetry.summary()["hit_ratio"] == 0.0
 
+    def test_hit_ratio_method_matches_summary(self, recorded):
+        telemetry, _, _ = recorded
+        assert telemetry.hit_ratio() == pytest.approx(
+            telemetry.summary()["hit_ratio"]
+        )
+        assert 0.0 < telemetry.hit_ratio() <= 1.0
+
+    def test_hit_ratio_empty_is_zero(self):
+        assert Telemetry().hit_ratio() == 0.0
+
 
 class TestCsvRoundtrip:
     def test_roundtrip(self, recorded, tmp_path):
@@ -88,3 +98,33 @@ class TestCsvRoundtrip:
         path = tmp_path / "empty.csv"
         Telemetry().to_csv(path)
         assert len(Telemetry.from_csv(path)) == 0
+
+
+class TestExportCsvAppend:
+    def test_append_accumulates_with_single_header(self, recorded, tmp_path):
+        telemetry, _, _ = recorded
+        path = tmp_path / "chunks.csv"
+        half = len(telemetry.records) // 2
+        first = Telemetry(records=telemetry.records[:half])
+        second = Telemetry(records=telemetry.records[half:])
+        first.export_csv(path, append=True)
+        second.export_csv(path, append=True)
+        loaded = Telemetry.from_csv(path)
+        assert len(loaded) == len(telemetry)
+        assert loaded.records == telemetry.records
+
+    def test_append_with_clear_bounds_memory(self, recorded, tmp_path):
+        telemetry, _, _ = recorded
+        path = tmp_path / "flush.csv"
+        buffer = Telemetry(records=list(telemetry.records))
+        total = len(buffer)
+        buffer.export_csv(path, append=True, clear=True)
+        assert len(buffer) == 0
+        assert len(Telemetry.from_csv(path)) == total
+
+    def test_plain_export_truncates(self, recorded, tmp_path):
+        telemetry, _, _ = recorded
+        path = tmp_path / "truncate.csv"
+        telemetry.export_csv(path, append=True)
+        telemetry.export_csv(path)  # overwrite, not double up
+        assert len(Telemetry.from_csv(path)) == len(telemetry)

@@ -1,6 +1,5 @@
 """Tests for HETKGTrainer / DGLKETrainer / PBGTrainer assembly and loops."""
 
-import numpy as np
 import pytest
 
 from repro.core.baselines import DGLKETrainer, PBGTrainer

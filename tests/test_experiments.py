@@ -1,8 +1,6 @@
 """Tests for the experiment runners — every paper table/figure runner must
 produce a sane, well-shaped result at tiny scale."""
 
-import math
-
 import pytest
 
 from repro.experiments.common import (

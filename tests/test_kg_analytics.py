@@ -9,7 +9,6 @@ from repro.kg.analytics import (
     powerlaw_alpha_mle,
     summarize,
 )
-from repro.kg.graph import KnowledgeGraph
 
 
 class TestPowerlawMLE:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.kg.graph import HEAD, REL, TAIL, KnowledgeGraph
+from repro.kg.graph import KnowledgeGraph
 
 
 class TestConstruction:

@@ -13,9 +13,8 @@ from repro.kg.graph import KnowledgeGraph
 from repro.kg.stats import gini, top_fraction_share
 from repro.models.losses import LogisticLoss, MarginRankingLoss
 from repro.optim.base import coalesce
-from repro.partition.base import assign_triples
 from repro.partition.metis import MetisPartitioner
-from repro.partition.quality import balance, cut_fraction
+from repro.partition.quality import cut_fraction
 from repro.utils.simclock import SimClock
 
 ids_strategy = st.lists(st.integers(0, 50), min_size=1, max_size=40)

@@ -31,6 +31,12 @@ class TestCommRecord:
         assert a.remote_bytes == 22
         assert a.remote_messages == 4
         assert a.total_bytes == 33
+        assert a.total_messages == 5
+
+    def test_total_messages(self):
+        r = CommRecord(local_messages=3, remote_messages=7)
+        assert r.total_messages == 10
+        assert CommRecord().total_messages == 0
 
 
 class TestNetworkModel:

@@ -1,6 +1,5 @@
 """Tests for the EXPERIMENTS.md report machinery."""
 
-import pytest
 
 from repro.experiments.paper_reference import PAPER_REFERENCES
 from repro.experiments.registry import EXPERIMENTS
