@@ -46,6 +46,7 @@ from repro.serving import (
     WorkloadSpec,
     ZipfianWorkload,
 )
+from repro.obs import Tracer, get_tracer, set_tracer
 
 __version__ = "1.0.0"
 
@@ -87,5 +88,8 @@ __all__ = [
     "ServingReport",
     "WorkloadSpec",
     "ZipfianWorkload",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
     "__version__",
 ]

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.cache.filtering import HotSet
 from repro.cache.table import CacheStats, CacheTable
+from repro.obs.tracer import NULL_SCOPE
 from repro.optim.adagrad import SparseAdagrad
 from repro.ps.server import ParameterServer
 from repro.utils.validation import check_positive
@@ -75,6 +76,9 @@ class HotEmbeddingCache:
             "relation": SparseAdagrad(local_lr),
         }
         self._iterations_since_sync = 0
+        #: Observability scope (bound to the owning worker's clock by the
+        #: trainer); defaults to the zero-cost null scope.
+        self.trace = NULL_SCOPE
 
     # -------------------------------------------------------------- install
 
@@ -92,23 +96,34 @@ class HotEmbeddingCache:
         from repro.ps.network import CommRecord
 
         comm = CommRecord()
-        for kind, ids in (("entity", hot.entities), ("relation", hot.relations)):
-            table = self._tables[kind]
-            ids = np.asarray(ids, dtype=np.int64)[: table.capacity]
-            rows = np.zeros((len(ids), table.width))
-            if len(ids):
-                retained = table.membership_mask(ids)
-                if retained.any():
-                    rows[retained] = table.get(ids[retained])
-                fresh_ids = ids[~retained]
-                if len(fresh_ids):
-                    pulled, c = self.server.pull(kind, fresh_ids, self.machine)
-                    comm.merge(c)
-                    rows[~retained] = pulled
-            table.install(ids, rows)
-            # Fresh membership -> fresh local optimizer state.
-            self._local_optimizers[kind] = SparseAdagrad(self.local_lr)
-        self._iterations_since_sync = 0
+        with self.trace.span("cache.install", "cache") as span:
+            installed = retained_total = 0
+            for kind, ids in (("entity", hot.entities), ("relation", hot.relations)):
+                table = self._tables[kind]
+                ids = np.asarray(ids, dtype=np.int64)[: table.capacity]
+                rows = np.zeros((len(ids), table.width))
+                if len(ids):
+                    retained = table.membership_mask(ids)
+                    if retained.any():
+                        rows[retained] = table.get(ids[retained])
+                    fresh_ids = ids[~retained]
+                    if len(fresh_ids):
+                        pulled, c = self.server.pull(kind, fresh_ids, self.machine)
+                        comm.merge(c)
+                        rows[~retained] = pulled
+                    retained_total += int(retained.sum())
+                table.install(ids, rows)
+                installed += len(ids)
+                # Fresh membership -> fresh local optimizer state.
+                self._local_optimizers[kind] = SparseAdagrad(self.local_lr)
+            self._iterations_since_sync = 0
+            span.set(
+                rows=installed,
+                retained=retained_total,
+                pulled=installed - retained_total,
+                bytes=comm.total_bytes,
+            )
+        self.trace.count("cache.installs")
         return comm
 
     # ----------------------------------------------------------------- reads
@@ -122,15 +137,17 @@ class HotEmbeddingCache:
 
         table = self._tables[kind]
         ids = np.asarray(ids, dtype=np.int64)
-        hit_mask, hit_ids, miss_ids = table.partition_hits(ids)
-        rows = np.empty((len(ids), table.width), dtype=np.float64)
-        comm = CommRecord()
-        if len(hit_ids):
-            rows[hit_mask] = table.get(hit_ids)
-        if len(miss_ids):
-            pulled, comm_pull = self.server.pull(kind, miss_ids, self.machine)
-            comm.merge(comm_pull)
-            rows[~hit_mask] = pulled
+        with self.trace.span("cache.fetch", "cache", kind=kind) as span:
+            hit_mask, hit_ids, miss_ids = table.partition_hits(ids)
+            rows = np.empty((len(ids), table.width), dtype=np.float64)
+            comm = CommRecord()
+            if len(hit_ids):
+                rows[hit_mask] = table.get(hit_ids)
+            if len(miss_ids):
+                pulled, comm_pull = self.server.pull(kind, miss_ids, self.machine)
+                comm.merge(comm_pull)
+                rows[~hit_mask] = pulled
+            span.set(hits=len(hit_ids), misses=len(miss_ids), bytes=comm.total_bytes)
         return rows, comm
 
     # ---------------------------------------------------------------- writes
@@ -146,6 +163,12 @@ class HotEmbeddingCache:
         if not mask.any():
             return
         slots = table.slot_of(ids[mask])
+        # rows_view() hands out the whole backing array; the occupied-prefix
+        # invariant guarantees live slots never index the zeroed tail.
+        assert int(slots.max()) < table.occupied, (
+            f"slot {int(slots.max())} outside live membership "
+            f"({table.occupied} rows)"
+        )
         self._local_optimizers[kind].update(
             kind, table.rows_view(), slots, grads[mask]
         )
@@ -165,13 +188,18 @@ class HotEmbeddingCache:
         from repro.ps.network import CommRecord
 
         comm = CommRecord()
-        for kind, table in self._tables.items():
-            ids = table.ids
-            if len(ids):
-                rows, c = self.server.pull(kind, ids, self.machine)
-                comm.merge(c)
-                table.set(ids, rows)
-        self._iterations_since_sync = 0
+        with self.trace.span("cache.sync", "cache") as span:
+            refreshed = 0
+            for kind, table in self._tables.items():
+                ids = table.ids
+                if len(ids):
+                    rows, c = self.server.pull(kind, ids, self.machine)
+                    comm.merge(c)
+                    table.set(ids, rows)
+                    refreshed += len(ids)
+            self._iterations_since_sync = 0
+            span.set(rows=refreshed, bytes=comm.total_bytes)
+        self.trace.count("cache.syncs")
         return comm
 
     # ------------------------------------------------------------------ stats

@@ -91,8 +91,14 @@ class CacheTable:
             raise ValueError(f"{len(ids)} ids but {len(rows)} rows")
         if len(np.unique(ids)) != len(ids):
             raise ValueError("install ids must be unique")
+        previous = len(self._slot_of)
         self._slot_of = {int(e): i for i, e in enumerate(ids)}
         self._rows[: len(ids)] = rows
+        if len(ids) < previous:
+            # Zero the tail on shrink: rows_view() hands the backing array
+            # to optimizers, and rows beyond the live membership must not
+            # leak a previous membership's embeddings.
+            self._rows[len(ids):previous] = 0.0
 
     # ------------------------------------------------------------------ reads
 
@@ -135,8 +141,17 @@ class CacheTable:
         slots = self._slots(ids)
         np.add.at(self._rows, slots, deltas)
 
+    @property
+    def occupied(self) -> int:
+        """Rows of the backing array that belong to the live membership.
+
+        ``rows_view()`` consumers must only touch slots ``< occupied``;
+        everything beyond is zeroed padding.
+        """
+        return len(self._slot_of)
+
     def rows_view(self) -> np.ndarray:
-        """The live backing array (first ``len(self)`` rows are valid)."""
+        """The live backing array (first :attr:`occupied` rows are valid)."""
         return self._rows
 
     def slot_of(self, ids: np.ndarray) -> np.ndarray:

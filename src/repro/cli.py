@@ -20,6 +20,16 @@ import time
 from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
 
 
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.json",
+        help="record a repro.obs span trace and write Chrome-trace JSON here "
+        "(open in chrome://tracing or https://ui.perfetto.dev)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hetkg",
@@ -34,6 +44,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", type=float, default=None, help="dataset scale factor")
     run.add_argument("--epochs", type=int, default=None, help="training epochs")
     run.add_argument("--seed", type=int, default=None, help="master seed")
+    _add_trace_flag(run)
 
     report = sub.add_parser(
         "report", help="regenerate EXPERIMENTS.md (paper vs measured)"
@@ -80,6 +91,7 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument(
         "--checkpoint", default=None, help="write final embeddings here (.npz)"
     )
+    _add_trace_flag(train)
 
     serve = sub.add_parser(
         "serve-bench",
@@ -132,6 +144,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip the cache-off comparison run",
     )
     serve.add_argument("--seed", type=int, default=0)
+    _add_trace_flag(serve)
 
     sweep = sub.add_parser(
         "sweep", help="sweep one TrainingConfig field and tabulate outcomes"
@@ -346,6 +359,24 @@ def _sweep(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        return _dispatch(args)
+
+    from repro.obs import Tracer, set_tracer
+
+    tracer = Tracer()
+    set_tracer(tracer)
+    try:
+        status = _dispatch(args)
+    finally:
+        set_tracer(None)
+        tracer.export(trace_path)
+        print(f"trace written to {trace_path} (open in chrome://tracing)")
+    return status
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         for name in list_experiments():
             doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]

@@ -158,7 +158,7 @@ class PBGTrainer:
         assert self._entity_part is not None
         cfg = self.config
 
-        clock.advance(self.network.time_for(self._swap_cost(key)), "communication")
+        clock.advance(self.network.charge(self._swap_cost(key)), "communication")
 
         pool_mask = np.isin(
             self._entity_part, np.unique(np.asarray(key, dtype=np.int64))
@@ -204,13 +204,13 @@ class PBGTrainer:
                 grads.relation_grads,
             )
             clock.advance(
-                self.network.time_for(self._dense_relation_cost()),
+                self.network.charge(self._dense_relation_cost()),
                 "communication",
             )
             losses.append(grads.loss)
 
         # Save the partitions back to the shared filesystem.
-        clock.advance(self.network.time_for(self._swap_cost(key)), "communication")
+        clock.advance(self.network.charge(self._swap_cost(key)), "communication")
         return losses
 
     def train(
@@ -228,24 +228,34 @@ class PBGTrainer:
         history = TrainingHistory()
         bucket_rngs = spawn_rngs(self._rng, max(1, len(self._buckets)))
 
+        # Per-call accounting snapshot (see HETKGTrainer.train): repeated
+        # train() calls must not report the previous call's traffic/time.
+        comm_base = self.network.totals.copy()
+        clock_base = [c.copy() for c in self._clocks]
+
         ordered = sorted(self._buckets.items())
         # Lock-server state: the simulated time at which each entity
-        # partition becomes free for the next bucket that needs it.
+        # partition becomes free for the next bucket that needs it.  The
+        # lease timeline is *per call* (clocks persist across train()
+        # calls, so absolute elapsed values would carry skew from the
+        # previous call into this one's waiting pattern).
         part_ready = [0.0] * self.num_partitions
         for epoch in range(1, cfg.epochs + 1):
             losses: list[float] = []
             for i, (key, idx) in enumerate(ordered):
-                clock = self._clocks[i % cfg.num_machines]
+                machine = i % cfg.num_machines
+                clock = self._clocks[machine]
+                rel = clock.elapsed - clock_base[machine].elapsed
                 ready = max(part_ready[p] for p in set(key))
-                if ready > clock.elapsed:
-                    clock.advance(ready - clock.elapsed, "communication")
+                if ready > rel:
+                    clock.advance(ready - rel, "communication")
                 losses.extend(
                     self._train_bucket(
                         train_graph, key, idx, clock, bucket_rngs[i]
                     )
                 )
                 for p in set(key):
-                    part_ready[p] = clock.elapsed
+                    part_ready[p] = clock.elapsed - clock_base[machine].elapsed
             metrics: dict[str, float] = {}
             is_last = epoch == cfg.epochs
             due = eval_every is not None and epoch % eval_every == 0
@@ -264,21 +274,29 @@ class PBGTrainer:
             history.append(
                 HistoryPoint(
                     epoch=epoch,
-                    sim_time=max(c.elapsed for c in self._clocks),
+                    sim_time=max(
+                        c.elapsed - base.elapsed
+                        for c, base in zip(self._clocks, clock_base)
+                    ),
                     loss=float(np.mean(losses)) if losses else 0.0,
                     metrics=metrics,
                 )
             )
 
-        slowest = max(self._clocks, key=lambda c: c.elapsed)
+        slowest_i = max(
+            range(len(self._clocks)),
+            key=lambda i: self._clocks[i].elapsed - clock_base[i].elapsed,
+        )
+        slowest, base = self._clocks[slowest_i], clock_base[slowest_i]
         return TrainResult(
             config=cfg,
             system=self.system_name,
             history=history,
-            sim_time=slowest.elapsed,
-            compute_time=slowest.category("compute"),
-            communication_time=slowest.category("communication"),
-            comm_totals=self.network.totals,
+            sim_time=slowest.elapsed - base.elapsed,
+            compute_time=slowest.category("compute") - base.category("compute"),
+            communication_time=slowest.category("communication")
+            - base.category("communication"),
+            comm_totals=self.network.totals.difference(comm_base),
             cache_hit_ratio=0.0,
             final_metrics=history.points[-1].metrics if history.points else {},
         )

@@ -30,6 +30,7 @@ from repro.core.worker import Worker
 from repro.kg.graph import KnowledgeGraph
 from repro.models.base import KGEModel, get_model
 from repro.models.losses import get_loss
+from repro.obs.tracer import Tracer, get_tracer
 from repro.optim import get_optimizer
 from repro.partition.base import Partition
 from repro.partition.metis import MetisPartitioner
@@ -195,6 +196,19 @@ class HETKGTrainer:
                 )
             )
 
+    def _wire_tracer(self, tracer: Tracer) -> None:
+        """Bind observability scopes across layers (worker/cache/PS)."""
+        assert self.server is not None
+        for worker in self.workers:
+            worker.trace = tracer.scope(f"worker{worker.machine}", worker.clock)
+            if worker.cache is not None:
+                worker.cache.trace = tracer.scope(
+                    f"cache{worker.machine}", worker.clock
+                )
+            self.server.bind_trace(
+                worker.machine, tracer.scope(f"ps@w{worker.machine}", worker.clock)
+            )
+
     # ------------------------------------------------------------------ train
 
     def train(
@@ -206,6 +220,7 @@ class HETKGTrainer:
         eval_max_queries: int = 200,
         eval_candidates: int | None = 500,
         telemetry: Telemetry | None = None,
+        tracer: Tracer | None = None,
     ) -> TrainResult:
         """Run ``config.epochs`` epochs; optionally evaluate along the way.
 
@@ -218,15 +233,29 @@ class HETKGTrainer:
             final epoch, and only if ``eval_graph`` is given).
         telemetry:
             Optional per-iteration recorder attached to every worker.
+        tracer:
+            Optional :mod:`repro.obs` tracer; defaults to the
+            process-wide tracer (installed by the CLI ``--trace`` flag),
+            which is the zero-cost null tracer when tracing is off.
         """
         self.setup(train_graph)
         if telemetry is not None:
             for worker in self.workers:
                 worker.telemetry = telemetry
+        active_tracer = tracer if tracer is not None else get_tracer()
+        if active_tracer.enabled:
+            self._wire_tracer(active_tracer)
         assert self.server is not None
         cfg = self.config
         history = TrainingHistory()
         iterations = max(w.sampler.batches_per_epoch for w in self.workers)
+
+        # Accounting snapshot: every train() call reports only the traffic
+        # and simulated time *it* generated, so calling train() repeatedly
+        # (warm restarts, continued training) cannot inflate the books
+        # with a previous run's totals.
+        comm_base = self.network.totals.copy()
+        clock_base = [w.clock.copy() for w in self.workers]
 
         for worker in self.workers:
             worker.start()
@@ -259,22 +288,32 @@ class HETKGTrainer:
             history.append(
                 HistoryPoint(
                     epoch=epoch,
-                    sim_time=max(w.clock.elapsed for w in self.workers),
+                    sim_time=max(
+                        w.clock.elapsed - base.elapsed
+                        for w, base in zip(self.workers, clock_base)
+                    ),
                     loss=float(np.mean(losses)) if losses else 0.0,
                     metrics=metrics,
                 )
             )
 
-        slowest = max(self.workers, key=lambda w: w.clock.elapsed)
+        slowest_i = max(
+            range(len(self.workers)),
+            key=lambda i: self.workers[i].clock.elapsed - clock_base[i].elapsed,
+        )
+        slowest = self.workers[slowest_i]
+        base = clock_base[slowest_i]
         hit_ratios = [w.cache_hit_ratio() for w in self.workers]
         return TrainResult(
             config=cfg,
             system=self.system_name,
             history=history,
-            sim_time=slowest.clock.elapsed,
-            compute_time=slowest.clock.category("compute"),
-            communication_time=slowest.clock.category("communication"),
-            comm_totals=self.network.totals,
+            sim_time=slowest.clock.elapsed - base.elapsed,
+            compute_time=slowest.clock.category("compute")
+            - base.category("compute"),
+            communication_time=slowest.clock.category("communication")
+            - base.category("communication"),
+            comm_totals=self.network.totals.difference(comm_base),
             cache_hit_ratio=float(np.mean(hit_ratios)) if hit_ratios else 0.0,
             final_metrics=history.points[-1].metrics if history.points else {},
         )

@@ -23,6 +23,7 @@ from repro.cache.strategies import HotEmbeddingStrategy
 from repro.cache.sync import HotEmbeddingCache
 from repro.core.compute import compute_batch_gradients
 from repro.core.telemetry import IterationRecord, Telemetry
+from repro.obs.tracer import NULL_SCOPE
 from repro.models.base import KGEModel
 from repro.models.losses import Loss
 from repro.ps.network import CommRecord, ComputeModel, NetworkModel
@@ -85,6 +86,9 @@ class Worker:
         self.cost_dim = cost_dim if cost_dim is not None else model.dim
         self.telemetry = telemetry
         self.clock = SimClock()
+        #: Observability scope for this worker's phase spans (bound by the
+        #: trainer when tracing is on; the null scope costs nothing).
+        self.trace = NULL_SCOPE
         self._step_comm: CommRecord | None = None
         self.iterations = 0
         self._started = False
@@ -98,10 +102,13 @@ class Worker:
         self._started = True
         if self.strategy is None or self.cache is None:
             return
-        hot = self.strategy.setup(self.sampler)
-        self._charge_overhead()
-        comm = self.cache.install(hot)
-        self._charge_comm(comm)
+        with self.trace.span("setup", "compute"):
+            hot = self.strategy.setup(self.sampler)
+            self._charge_overhead()
+        with self.trace.span("install", "communication") as span:
+            comm = self.cache.install(hot)
+            self._charge_comm(comm)
+            span.set(bytes=comm.total_bytes)
 
     # ------------------------------------------------------------------- step
 
@@ -118,55 +125,73 @@ class Worker:
 
         # 1. next batch (and possibly a new hot set to install).
         if self.strategy is not None and self.cache is not None:
-            batch, new_hot = self.strategy.next_batch()
-            self._charge_overhead()
+            with self.trace.span("sample", "compute"):
+                batch, new_hot = self.strategy.next_batch()
+                self._charge_overhead()
             if new_hot is not None:
-                self._charge_comm(self.cache.install(new_hot))
+                with self.trace.span("rebuild", "communication") as span:
+                    rebuild_comm = self.cache.install(new_hot)
+                    self._charge_comm(rebuild_comm)
+                    span.set(bytes=rebuild_comm.total_bytes)
+                self.trace.count("worker.rebuilds")
             # 2. bounded-staleness synchronization (every P iterations).
             sync_comm = self.cache.tick()
             if sync_comm is not None:
-                self._charge_comm(sync_comm)
+                with self.trace.span("sync", "communication") as span:
+                    self._charge_comm(sync_comm)
+                    span.set(bytes=sync_comm.total_bytes)
+                self.trace.count("worker.syncs")
         else:
-            batch = self.sampler.next_batch()
+            with self.trace.span("sample", "compute"):
+                batch = self.sampler.next_batch()
 
         # 3. fetch embedding rows.
-        ent_ids = batch.unique_entities()
-        rel_ids = batch.unique_relations()
-        if self.cache is not None:
-            ent_rows, comm_e = self.cache.fetch("entity", ent_ids)
-            rel_rows, comm_r = self.cache.fetch("relation", rel_ids)
-        else:
-            ent_rows, comm_e = self.server.pull("entity", ent_ids, self.machine)
-            rel_rows, comm_r = self.server.pull("relation", rel_ids, self.machine)
-        self._charge_comm(comm_e)
-        self._charge_comm(comm_r)
+        with self.trace.span("fetch", "communication") as span:
+            ent_ids = batch.unique_entities()
+            rel_ids = batch.unique_relations()
+            if self.cache is not None:
+                ent_rows, comm_e = self.cache.fetch("entity", ent_ids)
+                rel_rows, comm_r = self.cache.fetch("relation", rel_ids)
+            else:
+                ent_rows, comm_e = self.server.pull("entity", ent_ids, self.machine)
+                rel_rows, comm_r = self.server.pull("relation", rel_ids, self.machine)
+            self._charge_comm(comm_e)
+            self._charge_comm(comm_r)
+            span.set(bytes=comm_e.total_bytes + comm_r.total_bytes)
 
         # 4. forward + backward.
-        grads = compute_batch_gradients(
-            self.model, self.loss, batch, ent_ids, ent_rows, rel_ids, rel_rows
-        )
-        self.clock.advance(
-            self.compute.batch_time(grads.num_scores, self.cost_dim), "compute"
-        )
+        with self.trace.span("compute", "compute") as span:
+            grads = compute_batch_gradients(
+                self.model, self.loss, batch, ent_ids, ent_rows, rel_ids, rel_rows
+            )
+            self.clock.advance(
+                self.compute.batch_time(grads.num_scores, self.cost_dim), "compute"
+            )
+            span.set(scores=grads.num_scores)
 
         # 5. local cache update + push everything to the PS.
-        if self.cache is not None:
-            self.cache.apply_local_gradients(
-                "entity", grads.entity_ids, grads.entity_grads
+        with self.trace.span("push", "communication") as span:
+            if self.cache is not None:
+                self.cache.apply_local_gradients(
+                    "entity", grads.entity_ids, grads.entity_grads
+                )
+                self.cache.apply_local_gradients(
+                    "relation", grads.relation_ids, grads.relation_grads
+                )
+            push_e = self.server.push(
+                "entity", grads.entity_ids, grads.entity_grads, self.machine
             )
-            self.cache.apply_local_gradients(
-                "relation", grads.relation_ids, grads.relation_grads
+            push_r = self.server.push(
+                "relation", grads.relation_ids, grads.relation_grads, self.machine
             )
-        push_e = self.server.push(
-            "entity", grads.entity_ids, grads.entity_grads, self.machine
-        )
-        push_r = self.server.push(
-            "relation", grads.relation_ids, grads.relation_grads, self.machine
-        )
-        self._charge_comm(push_e)
-        self._charge_comm(push_r)
+            self._charge_comm(push_e)
+            self._charge_comm(push_r)
+            span.set(bytes=push_e.total_bytes + push_r.total_bytes)
 
         self.iterations += 1
+        self.trace.count("worker.steps")
+        if self._step_comm is not None and self._step_comm.remote_bytes:
+            self.trace.count("worker.remote_bytes", self._step_comm.remote_bytes)
         if self.telemetry is not None:
             if self.cache is not None:
                 stats = self.cache.combined_stats()
@@ -200,9 +225,11 @@ class Worker:
     # ---------------------------------------------------------------- private
 
     def _charge_comm(self, comm: CommRecord) -> None:
+        """Account ``comm`` into the network totals (exactly once) and
+        advance this worker's clock by its cost."""
         if self._step_comm is not None:
             self._step_comm.merge(comm)
-        self.clock.advance(self.network.time_for(comm), "communication")
+        self.clock.advance(self.network.charge(comm), "communication")
 
     def _charge_overhead(self) -> None:
         if self.strategy is None:

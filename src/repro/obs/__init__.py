@@ -1,0 +1,57 @@
+"""repro.obs — span-based tracing and metrics over the simulated cluster.
+
+The observability layer (see ``docs/observability.md``):
+
+* :class:`Tracer` / :class:`TraceScope` — spans timed against
+  :class:`~repro.utils.simclock.SimClock`, so durations reconcile
+  exactly with the accounting the paper's tables are built from.
+* :class:`MetricsRegistry` — counters and gauges with timestamped
+  samples.
+* :mod:`repro.obs.export` — Chrome-trace JSON for ``chrome://tracing``
+  and Perfetto, plus a schema validator used by CI.
+* :func:`set_tracer` / :func:`get_tracer` — process-wide tracer the CLI
+  ``--trace`` flag installs; everything defaults to the zero-cost
+  :data:`NULL_TRACER` when tracing is off.
+"""
+
+from repro.obs.export import (
+    to_chrome_trace,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
+)
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry
+from repro.obs.sinks import CounterSample, InMemorySink, NullSink, SpanRecord, TraceSink
+from repro.obs.tracer import (
+    NULL_SCOPE,
+    NULL_SPAN,
+    NULL_TRACER,
+    Span,
+    Tracer,
+    TraceScope,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "CounterSample",
+    "Gauge",
+    "InMemorySink",
+    "MetricsRegistry",
+    "NULL_SCOPE",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullSink",
+    "Span",
+    "SpanRecord",
+    "TraceScope",
+    "TraceSink",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+    "write_chrome_trace",
+]

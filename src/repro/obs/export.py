@@ -1,0 +1,171 @@
+"""Chrome-trace (Trace Event Format) export and validation.
+
+Converts collected :class:`~repro.obs.sinks.SpanRecord` /
+:class:`~repro.obs.sinks.CounterSample` objects into the JSON object
+format understood by ``chrome://tracing`` and https://ui.perfetto.dev:
+
+* spans become complete events (``ph: "X"``) with microsecond ``ts`` /
+  ``dur`` derived from simulated seconds,
+* counters become counter events (``ph: "C"``),
+* tracks become named threads (``ph: "M"`` ``thread_name`` metadata).
+
+The exporter sorts events by timestamp (parents before children on
+ties), so the output stream is monotone — the validator and the CI
+trace-smoke job both check this.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.obs.sinks import CounterSample, SpanRecord
+
+#: Simulated seconds -> Trace Event microseconds.
+US_PER_SECOND = 1e6
+
+_REQUIRED_KEYS = {"name", "ph", "pid", "tid"}
+
+
+def to_chrome_trace(sink) -> dict:
+    """Build the Chrome-trace dict from a sink's records.
+
+    ``sink`` must expose ``spans`` and ``counters`` lists (the default
+    :class:`~repro.obs.sinks.InMemorySink` does).
+    """
+    spans: Iterable[SpanRecord] = getattr(sink, "spans", [])
+    counters: Iterable[CounterSample] = getattr(sink, "counters", [])
+
+    tracks = sorted(
+        {s.track for s in spans} | {c.track for c in counters}
+    )
+    tid_of = {track: tid for tid, track in enumerate(tracks)}
+
+    meta = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": track},
+        }
+        for track, tid in tid_of.items()
+    ]
+
+    timed: list[dict] = []
+    for s in spans:
+        timed.append(
+            {
+                "name": s.name,
+                "cat": s.category,
+                "ph": "X",
+                "ts": s.start * US_PER_SECOND,
+                "dur": s.duration * US_PER_SECOND,
+                "pid": 0,
+                "tid": tid_of[s.track],
+                "args": dict(s.attrs),
+            }
+        )
+    for c in counters:
+        timed.append(
+            {
+                "name": c.name,
+                "ph": "C",
+                "ts": c.ts * US_PER_SECOND,
+                "pid": 0,
+                "tid": tid_of[c.track],
+                "args": {c.name: c.value},
+            }
+        )
+    # Monotone stream; on equal ts put longer (enclosing) spans first so
+    # viewers nest children correctly.
+    timed.sort(key=lambda e: (e["ts"], -e.get("dur", 0.0)))
+
+    return {
+        "traceEvents": meta + timed,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs", "time_base": "simulated-seconds"},
+    }
+
+
+def write_chrome_trace(sink, path: str) -> None:
+    """Serialize :func:`to_chrome_trace` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(to_chrome_trace(sink), f, indent=1)
+
+
+# ------------------------------------------------------------------ validation
+
+
+def validate_chrome_trace(trace: dict) -> dict[str, float]:
+    """Check ``trace`` against the Trace Event object-format schema.
+
+    Raises :class:`ValueError` on the first violation; returns a small
+    summary (event counts and per-category duration totals in simulated
+    seconds) so callers — including the CI trace-smoke job — can print
+    something useful on success.
+    """
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ValueError("trace must be an object with a 'traceEvents' array")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be an array")
+
+    last_ts: float | None = None
+    n_spans = n_counters = 0
+    category_seconds: dict[str, float] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {i} is not an object")
+        missing = _REQUIRED_KEYS - event.keys()
+        if missing:
+            raise ValueError(f"event {i} missing keys {sorted(missing)}")
+        ph = event["ph"]
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            raise ValueError(f"event {i} ({event['name']!r}) has no numeric 'ts'")
+        if last_ts is not None and ts < last_ts:
+            raise ValueError(
+                f"event {i} ({event['name']!r}) breaks ts monotonicity: "
+                f"{ts} < {last_ts}"
+            )
+        last_ts = ts
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(
+                    f"event {i} ({event['name']!r}) needs a non-negative 'dur'"
+                )
+            n_spans += 1
+            cat = event.get("cat", "misc")
+            category_seconds[cat] = (
+                category_seconds.get(cat, 0.0) + dur / US_PER_SECOND
+            )
+        elif ph == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                raise ValueError(
+                    f"counter event {i} ({event['name']!r}) needs non-empty 'args'"
+                )
+            if not all(isinstance(v, (int, float)) for v in args.values()):
+                raise ValueError(
+                    f"counter event {i} ({event['name']!r}) has non-numeric values"
+                )
+            n_counters += 1
+        else:
+            raise ValueError(f"event {i} has unsupported phase {ph!r}")
+
+    return {
+        "events": float(len(events)),
+        "spans": float(n_spans),
+        "counters": float(n_counters),
+        **{f"seconds[{k}]": v for k, v in sorted(category_seconds.items())},
+    }
+
+
+def validate_chrome_trace_file(path: str) -> dict[str, float]:
+    """Load ``path`` and :func:`validate_chrome_trace` it."""
+    with open(path, encoding="utf-8") as f:
+        return validate_chrome_trace(json.load(f))

@@ -1,0 +1,73 @@
+"""Counters and gauges: scalar observability next to the span tracer.
+
+Spans answer "where did the time go"; counters answer "how much of X
+happened" (steps, rebuilds, bytes, batch flushes) and gauges record
+last-seen levels (cache occupancy, pending queue depth).  The registry
+is deliberately tiny: names map to monotone :class:`Counter` or
+last-write-wins :class:`Gauge` objects, and :meth:`MetricsRegistry.snapshot`
+flattens everything into a plain dict for reports and tests.
+
+Timestamped *samples* of these metrics are emitted through the tracer's
+sink (see :meth:`repro.obs.tracer.TraceScope.count`), which is how they
+end up as ``ph: "C"`` counter tracks in the Chrome-trace export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing scalar."""
+
+    name: str
+    value: float = 0.0
+
+    def add(self, delta: float = 1.0) -> float:
+        """Increment and return the new cumulative value."""
+        if delta < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {delta})")
+        self.value += delta
+        return self.value
+
+
+@dataclass
+class Gauge:
+    """A last-write-wins scalar."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> float:
+        self.value = float(value)
+        return self.value
+
+
+class MetricsRegistry:
+    """Name -> metric registry with on-demand creation."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def snapshot(self) -> dict[str, float]:
+        """All metric values as a flat dict (counters and gauges)."""
+        out = {name: c.value for name, c in self._counters.items()}
+        out.update({name: g.value for name, g in self._gauges.items()})
+        return out
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters or name in self._gauges

@@ -1,0 +1,113 @@
+"""Trace sinks: where finished spans and counter samples go.
+
+A sink is the pluggable backend of the tracer.  The tracer itself only
+*times* spans against a :class:`~repro.utils.simclock.SimClock`; what
+happens to a finished span is the sink's business.  The default
+:class:`InMemorySink` simply collects records so they can be exported to
+Chrome-trace JSON (:mod:`repro.obs.export`) or aggregated in tests; a
+:class:`NullSink` drops everything (used when only counters matter).
+
+Custom sinks (streaming to a file, forwarding to a metrics service) need
+only implement the two ``emit_*`` methods of :class:`TraceSink`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol, runtime_checkable
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span: a named interval on a track.
+
+    ``start``/``end`` are *simulated* seconds read from the owning scope's
+    :class:`~repro.utils.simclock.SimClock` at enter/exit.  ``category``
+    mirrors the clock categories (``"compute"``, ``"communication"``,
+    ...), which is what lets span totals be reconciled against
+    ``SimClock.by_category`` exactly.
+    """
+
+    name: str
+    track: str
+    start: float
+    end: float
+    category: str = "misc"
+    attrs: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """One timestamped observation of a counter or gauge."""
+
+    name: str
+    track: str
+    ts: float
+    value: float
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """Anything that can receive finished spans and counter samples."""
+
+    def emit_span(self, span: SpanRecord) -> None: ...
+
+    def emit_counter(self, sample: CounterSample) -> None: ...
+
+
+class InMemorySink:
+    """Default sink: keep every record in memory, in emission order.
+
+    Spans are emitted on *exit*, so a child span appears before its
+    parent; the Chrome-trace exporter re-sorts by start time.
+    """
+
+    def __init__(self) -> None:
+        self.spans: list[SpanRecord] = []
+        self.counters: list[CounterSample] = []
+
+    def emit_span(self, span: SpanRecord) -> None:
+        self.spans.append(span)
+
+    def emit_counter(self, sample: CounterSample) -> None:
+        self.counters.append(sample)
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.counters.clear()
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.counters)
+
+    # ------------------------------------------------------------ aggregation
+
+    def category_totals(self, track: str | None = None) -> dict[str, float]:
+        """Sum span durations per category (optionally for one track).
+
+        This is the reconciliation view: for an instrumented worker,
+        ``category_totals("worker0")`` must equal that worker's
+        ``SimClock.by_category`` to float tolerance.
+        """
+        totals: dict[str, float] = {}
+        for span in self.spans:
+            if track is not None and span.track != track:
+                continue
+            totals[span.category] = totals.get(span.category, 0.0) + span.duration
+        return totals
+
+    def spans_named(self, name: str) -> list[SpanRecord]:
+        return [s for s in self.spans if s.name == name]
+
+
+class NullSink:
+    """Discards everything (tracer stays enabled, nothing is stored)."""
+
+    def emit_span(self, span: SpanRecord) -> None:
+        pass
+
+    def emit_counter(self, sample: CounterSample) -> None:
+        pass

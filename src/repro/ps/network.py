@@ -16,6 +16,7 @@ paper's units.  Defaults approximate the paper's testbed.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.utils.validation import check_positive
@@ -46,6 +47,23 @@ class CommRecord:
     @property
     def total_messages(self) -> int:
         return self.local_messages + self.remote_messages
+
+    def copy(self) -> "CommRecord":
+        return CommRecord(
+            local_bytes=self.local_bytes,
+            remote_bytes=self.remote_bytes,
+            local_messages=self.local_messages,
+            remote_messages=self.remote_messages,
+        )
+
+    def difference(self, baseline: "CommRecord") -> "CommRecord":
+        """Traffic accumulated since ``baseline`` (a prior snapshot)."""
+        return CommRecord(
+            local_bytes=self.local_bytes - baseline.local_bytes,
+            remote_bytes=self.remote_bytes - baseline.remote_bytes,
+            local_messages=self.local_messages - baseline.local_messages,
+            remote_messages=self.remote_messages - baseline.remote_messages,
+        )
 
 
 @dataclass
@@ -78,9 +96,12 @@ class NetworkModel:
         if self.latency < 0 or self.local_latency < 0:
             raise ValueError("latencies must be non-negative")
 
-    def time_for(self, record: CommRecord) -> float:
-        """Seconds to complete the transfers described by ``record``."""
-        self.totals.merge(record)
+    def cost(self, record: CommRecord) -> float:
+        """Seconds to complete the transfers described by ``record``.
+
+        Pure estimate: does **not** touch :attr:`totals`.  Safe for
+        what-if costing, tracing, and calling any number of times.
+        """
         remote = (
             record.remote_messages * self.latency
             + record.remote_bytes / self.bandwidth
@@ -90,6 +111,33 @@ class NetworkModel:
             + record.local_bytes / self.local_bandwidth
         )
         return remote + local
+
+    def charge(self, record: CommRecord) -> float:
+        """Account ``record`` into :attr:`totals` and return its cost.
+
+        The accounting invariant the comm tables rest on: every
+        :class:`CommRecord` produced by the simulation is charged
+        **exactly once**, by the component whose clock advances for it.
+        """
+        self.totals.merge(record)
+        return self.cost(record)
+
+    def time_for(self, record: CommRecord) -> float:
+        """Deprecated: estimating and accounting in one call double-counts.
+
+        Historic behaviour (kept for compatibility): identical to
+        :meth:`charge`.  Callers that only want an estimate must use
+        :meth:`cost`; callers accounting real traffic must use
+        :meth:`charge`.
+        """
+        warnings.warn(
+            "NetworkModel.time_for() mutates totals as a side effect and is "
+            "deprecated; use cost() for pure estimates or charge() to "
+            "account traffic",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.charge(record)
 
     def reset_totals(self) -> None:
         self.totals = CommRecord()

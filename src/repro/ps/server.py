@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.tracer import NULL_SCOPE, TraceScope
 from repro.optim.base import SparseOptimizer
 from repro.ps.compression import Compressor, NoCompression
 from repro.ps.kvstore import ShardedKVStore
@@ -60,6 +61,17 @@ class ParameterServer:
         #: Monotone update counter, bumped once per push; used by caches to
         #: reason about staleness.
         self.version = 0
+        #: Per-machine observability scopes (the PS is shared, so spans are
+        #: timestamped with the *calling* worker's clock).  Populated by
+        #: :meth:`bind_trace`; machines without a scope trace for free.
+        self._trace_scopes: dict[int, TraceScope] = {}
+
+    def bind_trace(self, machine: int, scope: TraceScope) -> None:
+        """Attach an observability scope for calls made by ``machine``."""
+        self._trace_scopes[machine] = scope
+
+    def _trace(self, machine: int):
+        return self._trace_scopes.get(machine, NULL_SCOPE)
 
     # ------------------------------------------------------------------ pulls
 
@@ -73,11 +85,17 @@ class ParameterServer:
         order of ``ids``.
         """
         ids = np.asarray(ids, dtype=np.int64)
-        rows = self.store.read(kind, ids)
-        remote = self.store.owners(kind, ids) != machine
-        if remote.any():
-            rows[remote] = self.compressor.roundtrip(rows[remote])
-        comm = self._meter(kind, ids, machine)
+        with self._trace(machine).span("ps.pull", "ps", kind=kind) as span:
+            rows = self.store.read(kind, ids)
+            remote = self.store.owners(kind, ids) != machine
+            if remote.any():
+                rows[remote] = self.compressor.roundtrip(rows[remote])
+            comm = self._meter(kind, ids, machine)
+            span.set(
+                rows=len(ids),
+                bytes=comm.total_bytes,
+                remote_bytes=comm.remote_bytes,
+            )
         return rows, comm
 
     # ----------------------------------------------------------------- pushes
@@ -92,13 +110,19 @@ class ParameterServer:
             raise ValueError(
                 f"push got {len(ids)} ids but {len(grads)} gradient rows"
             )
-        comm = self._meter(kind, ids, machine)
-        remote = self.store.owners(kind, ids) != machine
-        if remote.any():
-            grads = np.asarray(grads, dtype=np.float64).copy()
-            grads[remote] = self.compressor.roundtrip(grads[remote])
-        self.optimizer.update(kind, self.store.table(kind), ids, grads)
-        self.version += 1
+        with self._trace(machine).span("ps.push", "ps", kind=kind) as span:
+            comm = self._meter(kind, ids, machine)
+            remote = self.store.owners(kind, ids) != machine
+            if remote.any():
+                grads = np.asarray(grads, dtype=np.float64).copy()
+                grads[remote] = self.compressor.roundtrip(grads[remote])
+            self.optimizer.update(kind, self.store.table(kind), ids, grads)
+            self.version += 1
+            span.set(
+                rows=len(ids),
+                bytes=comm.total_bytes,
+                remote_bytes=comm.remote_bytes,
+            )
         return comm
 
     # ---------------------------------------------------------------- private

@@ -26,6 +26,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.obs.tracer import Tracer, get_tracer
 from repro.ps.network import (
     BYTES_PER_ELEMENT,
     CommRecord,
@@ -63,6 +64,10 @@ class ServingFrontend:
     byte_scale:
         Multiplier on metered bytes, mirroring the trainer's
         ``TrainingConfig.byte_scale`` wire-dimension correction.
+    tracer:
+        Observability tracer (:mod:`repro.obs`); defaults to the
+        process-wide tracer installed by ``--trace`` (zero-cost when
+        none is installed).
     """
 
     def __init__(
@@ -75,6 +80,7 @@ class ServingFrontend:
         machine: int = 0,
         top_k: int = 10,
         byte_scale: float = 1.0,
+        tracer: Tracer | None = None,
     ) -> None:
         if byte_scale <= 0:
             raise ValueError(f"byte_scale must be positive, got {byte_scale}")
@@ -94,6 +100,8 @@ class ServingFrontend:
         self.clock = SimClock()
         self.results: list[QueryResult] = []
         self.comm_totals = CommRecord()
+        active = tracer if tracer is not None else get_tracer()
+        self.trace = active.scope(f"serving@{machine}", self.clock)
 
     # -------------------------------------------------------------- event loop
 
@@ -112,42 +120,64 @@ class ServingFrontend:
                     break
                 batch = self.batcher.poll(deadline)
                 assert batch, "deadline implies a pending batch"
-                self._process(batch, trigger=deadline)
+                self._process(batch, trigger=deadline, reason="timeout")
             full = self.batcher.offer(query)
             if full:
-                self._process(full, trigger=query.arrival)
+                self._process(full, trigger=query.arrival, reason="full")
         # End of stream: drain the last partial batch at its deadline.
         deadline = self.batcher.deadline()
         tail = self.batcher.drain()
         if tail:
-            self._process(tail, trigger=deadline if deadline is not None else 0.0)
+            self._process(
+                tail,
+                trigger=deadline if deadline is not None else 0.0,
+                reason="drain",
+            )
         return self.report(label=label)
 
-    def _process(self, batch: Sequence[Query], trigger: float) -> None:
+    def _process(
+        self, batch: Sequence[Query], trigger: float, reason: str = "full"
+    ) -> None:
         """Dispatch one micro-batch triggered at simulated time ``trigger``."""
         if trigger > self.clock.elapsed:
             # Server idle until the batch was triggered.
-            self.clock.advance(trigger - self.clock.elapsed, "idle")
+            with self.trace.span("serve.idle", "idle"):
+                self.clock.advance(trigger - self.clock.elapsed, "idle")
 
-        entity_ids = np.unique(np.concatenate([q.entity_ids() for q in batch]))
-        relation_ids = np.unique(np.concatenate([q.relation_ids() for q in batch]))
-        comm = CommRecord()
-        for kind, ids in (("entity", entity_ids), ("relation", relation_ids)):
-            if self.cache is not None:
-                hit_mask = self.cache.lookup(kind, ids)
-                miss_ids = ids[~hit_mask]
-            else:
-                miss_ids = ids
-            if len(miss_ids):
-                comm.merge(self._meter(kind, miss_ids))
-        self.comm_totals.merge(comm)
-        self.clock.advance(self.network.time_for(comm), "communication")
+        with self.trace.span("serve.fetch", "communication") as span:
+            entity_ids = np.unique(np.concatenate([q.entity_ids() for q in batch]))
+            relation_ids = np.unique(
+                np.concatenate([q.relation_ids() for q in batch])
+            )
+            comm = CommRecord()
+            misses = 0
+            for kind, ids in (("entity", entity_ids), ("relation", relation_ids)):
+                if self.cache is not None:
+                    hit_mask = self.cache.lookup(kind, ids)
+                    miss_ids = ids[~hit_mask]
+                else:
+                    miss_ids = ids
+                if len(miss_ids):
+                    comm.merge(self._meter(kind, miss_ids))
+                misses += len(miss_ids)
+            self.comm_totals.merge(comm)
+            self.clock.advance(self.network.charge(comm), "communication")
+            span.set(
+                batch=len(batch), misses=misses, bytes=comm.total_bytes, reason=reason
+            )
 
-        num_scores = sum(q.num_scores for q in batch)
-        self.clock.advance(
-            self.compute.batch_time(num_scores, self.store.model.dim, backward=False),
-            "compute",
-        )
+        with self.trace.span("serve.compute", "compute") as span:
+            num_scores = sum(q.num_scores for q in batch)
+            self.clock.advance(
+                self.compute.batch_time(
+                    num_scores, self.store.model.dim, backward=False
+                ),
+                "compute",
+            )
+            span.set(batch=len(batch), scores=num_scores)
+        self.trace.count("serve.batches")
+        self.trace.count(f"serve.flush.{reason}")
+        self.trace.count("serve.queries", len(batch))
         completion = self.clock.elapsed
         for query in batch:
             self.results.append(

@@ -5,11 +5,14 @@ byte counters all observe the same underlying events from different
 angles; these tests assert they agree.
 """
 
+import numpy as np
 import pytest
 
+from repro.core.baselines import PBGTrainer
 from repro.core.config import TrainingConfig
 from repro.core.telemetry import Telemetry
 from repro.core.trainer import HETKGTrainer
+from repro.kg.graph import KnowledgeGraph
 
 
 def config(**overrides):
@@ -100,3 +103,65 @@ class TestStatsConservation:
         trainer, result, _ = run
         counts = {w.iterations for w in trainer.workers}
         assert len(counts) == 1  # round-robin keeps workers in lock-step
+
+
+class TestRepeatedTrainCalls:
+    """Each ``train()`` call must report only its own time and traffic.
+
+    Regression: the trainer charged into process-lifetime clocks and the
+    network's global byte tables without snapshotting them per call, so a
+    second ``train()`` on the same trainer reported roughly double the
+    traffic and simulated time of the first.
+    """
+
+    @staticmethod
+    def _two_entity_graph():
+        """Every batch touches exactly entities {0, 1} and relation {0},
+        so per-step communication is *identical* across calls even though
+        the sampler's rng state advances between them."""
+        triples = np.asarray([(0, 0, 1), (1, 0, 0)])
+        return KnowledgeGraph(triples, num_entities=2, num_relations=1)
+
+    def test_second_train_reports_equal_totals(self):
+        graph = self._two_entity_graph()
+        trainer = HETKGTrainer(
+            config(
+                cache_strategy="none", partitioner="random", batch_size=2,
+                num_negatives=2,
+            )
+        )
+        first = trainer.train(graph)
+        second = trainer.train(graph)
+        assert second.comm_totals.remote_bytes == first.comm_totals.remote_bytes
+        assert second.comm_totals.total_bytes == first.comm_totals.total_bytes
+        assert second.comm_totals.total_messages == first.comm_totals.total_messages
+        assert second.sim_time == pytest.approx(first.sim_time)
+        assert second.communication_time == pytest.approx(
+            first.communication_time
+        )
+
+    def test_second_train_not_cumulative_with_cache(self, small_split):
+        """With a DPS cache batches differ across calls (rng advances), so
+        assert the second call is *close to* the first — not ~2x it."""
+        trainer = HETKGTrainer(config())
+        first = trainer.train(small_split.train)
+        second = trainer.train(small_split.train)
+        assert second.comm_totals.total_bytes < 1.5 * first.comm_totals.total_bytes
+        assert second.sim_time < 1.5 * first.sim_time
+        assert second.history.points[-1].sim_time == pytest.approx(
+            second.sim_time
+        )
+
+    def test_pbg_second_train_reports_equal_totals(self):
+        graph = self._two_entity_graph()
+        trainer = PBGTrainer(
+            config(
+                cache_strategy="none", partitioner="random", batch_size=2,
+                num_negatives=2, pbg_partitions=2,
+            )
+        )
+        first = trainer.train(graph)
+        second = trainer.train(graph)
+        assert second.comm_totals.remote_bytes == first.comm_totals.remote_bytes
+        assert second.comm_totals.total_messages == first.comm_totals.total_messages
+        assert second.sim_time == pytest.approx(first.sim_time)

@@ -50,6 +50,31 @@ class TestInstall:
         t.install(np.array([], dtype=np.int64), np.zeros((0, 2)))
         assert len(t) == 0
 
+    def test_shrinking_install_zeroes_stale_tail(self, table):
+        """Regression: installing a smaller hot set left the previous
+        membership's rows in the slots beyond the new occupancy, so any
+        consumer of ``rows_view()`` that trusted slot indices could read
+        (or update) embeddings of entities no longer cached."""
+        table.install(np.array([7]), np.array([[9.0, 9.0]]))
+        assert table.occupied == 1
+        assert not table.rows_view()[1:].any()
+
+    def test_occupied_tracks_membership(self, table):
+        assert table.occupied == 3
+        table.install(np.array([], dtype=np.int64), np.zeros((0, 2)))
+        assert table.occupied == 0
+        assert not table.rows_view().any()
+
+    def test_growing_install_overwrites_cleanly(self):
+        t = CacheTable(4, 2)
+        t.install(np.array([1]), np.array([[5.0, 5.0]]))
+        t.install(
+            np.array([2, 3, 4]), np.arange(6, dtype=np.float64).reshape(3, 2)
+        )
+        assert t.occupied == 3
+        assert t.get(np.array([2]))[0].tolist() == [0.0, 1.0]
+        assert not t.rows_view()[3:].any()
+
     def test_stats_survive_reinstall(self, table):
         table.partition_hits(np.array([10, 99]))
         table.install(np.array([7]), np.array([[0.0, 0.0]]))

@@ -122,6 +122,28 @@ class TestExportCsvAppend:
         assert len(buffer) == 0
         assert len(Telemetry.from_csv(path)) == total
 
+    def test_multi_flush_roundtrip_single_header(self, recorded, tmp_path):
+        """Three append+clear flushes must produce one header, all rows,
+        and a faithful ``from_csv`` round-trip."""
+        telemetry, _, _ = recorded
+        path = tmp_path / "multiflush.csv"
+        originals = list(telemetry.records)
+        third = max(1, len(originals) // 3)
+        buffer = Telemetry()
+        flushed = 0
+        for start in range(0, len(originals), third):
+            buffer.records.extend(originals[start:start + third])
+            buffer.export_csv(path, append=True, clear=True)
+            assert len(buffer) == 0  # cleared after every flush
+            flushed += 1
+        assert flushed >= 3
+        lines = path.read_text().strip().splitlines()
+        header = lines[0]
+        assert sum(1 for line in lines if line == header) == 1
+        assert len(lines) == 1 + len(originals)
+        loaded = Telemetry.from_csv(path)
+        assert loaded.records == originals
+
     def test_plain_export_truncates(self, recorded, tmp_path):
         telemetry, _, _ = recorded
         path = tmp_path / "truncate.csv"

@@ -1,0 +1,147 @@
+"""End-to-end tracing tests: spans must reconcile with the cost models.
+
+The tracer observes the same simulated events as the per-worker
+``SimClock`` instances, so per-category span totals on each worker's
+track must equal the clock's category breakdown exactly (the acceptance
+criterion for the observability layer).
+"""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.core.config import TrainingConfig
+from repro.core.trainer import HETKGTrainer
+from repro.obs.export import validate_chrome_trace, validate_chrome_trace_file
+from repro.obs.tracer import NULL_SCOPE, Tracer, get_tracer
+from repro.serving.frontend import ServingFrontend
+from repro.serving.store import EmbeddingStore
+from repro.serving.workload import WorkloadSpec, ZipfianWorkload
+
+
+def config(**overrides):
+    defaults = dict(
+        model="transe", dim=8, epochs=2, batch_size=16, num_negatives=4,
+        num_machines=2, cache_strategy="dps", cache_capacity=64,
+        dps_window=4, sync_period=4, seed=1,
+    )
+    defaults.update(overrides)
+    return TrainingConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def traced_run(small_split):
+    tracer = Tracer()
+    trainer = HETKGTrainer(config())
+    result = trainer.train(small_split.train, tracer=tracer)
+    return tracer, trainer, result
+
+
+class TestTrainerReconciliation:
+    def test_span_totals_equal_clock_breakdown(self, traced_run):
+        """Acceptance criterion: per-category span totals on each worker
+        track equal that worker's SimClock category breakdown."""
+        tracer, trainer, _ = traced_run
+        for worker in trainer.workers:
+            totals = tracer.sink.category_totals(f"worker{worker.machine}")
+            for category in ("compute", "communication"):
+                assert totals[category] == pytest.approx(
+                    worker.clock.category(category), rel=1e-9
+                ), (worker.machine, category)
+
+    def test_span_totals_cover_full_clock(self, traced_run):
+        tracer, trainer, _ = traced_run
+        for worker in trainer.workers:
+            totals = tracer.sink.category_totals(f"worker{worker.machine}")
+            assert sum(totals.values()) == pytest.approx(worker.clock.elapsed)
+
+    def test_all_phases_present(self, traced_run):
+        tracer, _, _ = traced_run
+        names = {s.name for s in tracer.sink.spans}
+        assert {"sample", "fetch", "compute", "push", "sync", "install",
+                "cache.install", "cache.fetch", "cache.sync",
+                "ps.pull", "ps.push"} <= names
+
+    def test_step_counters_match_iterations(self, traced_run):
+        tracer, trainer, _ = traced_run
+        steps = tracer.metrics.counter("worker.steps").value
+        assert steps == sum(w.iterations for w in trainer.workers)
+        assert tracer.metrics.counter("worker.syncs").value > 0
+
+    def test_fetch_spans_carry_byte_attrs(self, traced_run):
+        tracer, _, result = traced_run
+        fetched = [s for s in tracer.sink.spans_named("fetch")]
+        assert fetched
+        assert all("bytes" in s.attrs for s in fetched)
+        traced_bytes = sum(s.attrs["bytes"] for s in fetched)
+        assert 0 < traced_bytes <= result.comm_totals.total_bytes
+
+    def test_export_validates(self, traced_run):
+        tracer, _, _ = traced_run
+        summary = validate_chrome_trace(tracer.chrome_trace())
+        assert summary["spans"] > 0
+        assert summary["counters"] > 0
+        assert summary["seconds[communication]"] > 0
+
+
+class TestDisabledByDefault:
+    def test_untraced_train_keeps_null_scopes(self, small_split):
+        trainer = HETKGTrainer(config(epochs=1))
+        trainer.train(small_split.train)
+        assert get_tracer().enabled is False
+        for worker in trainer.workers:
+            assert worker.trace is NULL_SCOPE
+            assert worker.cache.trace is NULL_SCOPE
+
+    def test_results_identical_with_and_without_tracing(self, small_split):
+        plain = HETKGTrainer(config()).train(small_split.train)
+        traced = HETKGTrainer(config()).train(small_split.train, tracer=Tracer())
+        assert traced.history.losses() == plain.history.losses()
+        assert traced.sim_time == plain.sim_time
+        assert traced.comm_totals.remote_bytes == plain.comm_totals.remote_bytes
+
+
+class TestServingReconciliation:
+    def test_frontend_spans_match_clock(self, small_split):
+        trainer = HETKGTrainer(config(epochs=1))
+        trainer.train(small_split.train)
+        store = EmbeddingStore.from_trainer(trainer)
+        tracer = Tracer()
+        frontend = ServingFrontend(store, tracer=tracer)
+        workload = ZipfianWorkload(
+            store.num_entities,
+            store.num_relations,
+            WorkloadSpec(num_queries=120, seed=3),
+        )
+        frontend.run(workload.generate())
+        totals = tracer.sink.category_totals("serving@0")
+        for category in ("compute", "communication", "idle"):
+            assert totals.get(category, 0.0) == pytest.approx(
+                frontend.clock.category(category)
+            ), category
+        assert tracer.metrics.counter("serve.queries").value == 120
+        assert tracer.metrics.counter("serve.batches").value > 0
+        validate_chrome_trace(tracer.chrome_trace())
+
+
+class TestCliTrace:
+    def test_train_trace_smoke(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        status = cli.main(
+            [
+                "train", "--dataset", "fb15k", "--scale", "0.012",
+                "--epochs", "1", "--machines", "2", "--dim", "8",
+                "--batch-size", "64", "--negatives", "4",
+                "--eval-queries", "10", "--trace", str(out),
+            ]
+        )
+        assert status == 0
+        summary = validate_chrome_trace_file(str(out))
+        assert summary["spans"] > 0
+        assert "trace written" in capsys.readouterr().out
+        # the CLI must uninstall its process-wide tracer afterwards
+        assert get_tracer().enabled is False
+        # file is plain JSON that chrome://tracing accepts
+        trace = json.loads(out.read_text())
+        assert isinstance(trace["traceEvents"], list)

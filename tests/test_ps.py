@@ -42,22 +42,56 @@ class TestCommRecord:
 class TestNetworkModel:
     def test_remote_time(self):
         net = NetworkModel(bandwidth=100.0, latency=1.0, local_bandwidth=1e12, local_latency=0.0)
-        t = net.time_for(CommRecord(remote_bytes=200, remote_messages=2))
+        t = net.cost(CommRecord(remote_bytes=200, remote_messages=2))
         assert t == pytest.approx(2 * 1.0 + 200 / 100.0)
 
     def test_local_cheaper_than_remote(self):
         net = NetworkModel()
-        remote = net.time_for(CommRecord(remote_bytes=10_000, remote_messages=1))
-        local = net.time_for(CommRecord(local_bytes=10_000, local_messages=1))
+        remote = net.cost(CommRecord(remote_bytes=10_000, remote_messages=1))
+        local = net.cost(CommRecord(local_bytes=10_000, local_messages=1))
         assert local < remote / 10
 
-    def test_totals_accumulate(self):
+    def test_cost_is_pure(self):
+        """Estimating a transfer must not inflate the global byte tables.
+
+        Regression: ``time_for`` accumulated totals as a side effect, so
+        any caller that merely *estimated* a cost (or costed the same
+        record twice) silently inflated the comm tables."""
         net = NetworkModel()
-        net.time_for(CommRecord(remote_bytes=100))
-        net.time_for(CommRecord(remote_bytes=50))
+        record = CommRecord(remote_bytes=100, remote_messages=1)
+        net.cost(record)
+        net.cost(record)
+        assert net.totals.total_bytes == 0
+        assert net.totals.total_messages == 0
+
+    def test_charge_accumulates_once(self):
+        net = NetworkModel()
+        record = CommRecord(remote_bytes=100)
+        assert net.charge(record) == pytest.approx(net.cost(record))
+        net.charge(CommRecord(remote_bytes=50))
         assert net.totals.remote_bytes == 150
         net.reset_totals()
         assert net.totals.remote_bytes == 0
+
+    def test_time_for_deprecated_but_compatible(self):
+        net = NetworkModel()
+        with pytest.deprecated_call():
+            t = net.time_for(CommRecord(remote_bytes=100))
+        assert t == pytest.approx(net.cost(CommRecord(remote_bytes=100)))
+        assert net.totals.remote_bytes == 100  # historic charging behaviour
+
+    def test_comm_record_copy_and_difference(self):
+        net = NetworkModel()
+        net.charge(CommRecord(remote_bytes=100, local_bytes=10, remote_messages=2))
+        snapshot = net.totals.copy()
+        net.charge(CommRecord(remote_bytes=40, local_messages=1))
+        delta = net.totals.difference(snapshot)
+        assert delta.remote_bytes == 40
+        assert delta.local_bytes == 0
+        assert delta.local_messages == 1
+        assert delta.remote_messages == 0
+        # the snapshot is decoupled from the live totals
+        assert snapshot.remote_bytes == 100
 
     def test_invalid_params(self):
         with pytest.raises(ValueError):
