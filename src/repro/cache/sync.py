@@ -79,6 +79,11 @@ class HotEmbeddingCache:
         #: Observability scope (bound to the owning worker's clock by the
         #: trainer); defaults to the zero-cost null scope.
         self.trace = NULL_SCOPE
+        #: Graceful-degradation accounting: how many periodic syncs could
+        #: not reach the PS (and were skipped, serving rows staler than the
+        #: bound ``P``), and the worst staleness overrun in iterations.
+        self.staleness_overruns = 0
+        self.max_staleness_overrun = 0
 
     # -------------------------------------------------------------- install
 
@@ -184,23 +189,74 @@ class HotEmbeddingCache:
         return self.force_sync()
 
     def force_sync(self):
-        """Pull the latest version of every cached row from the PS now."""
+        """Pull the latest version of every cached row from the PS now.
+
+        When the server is wrapped in a fault-injecting RPC channel (it
+        exposes ``try_pull``), a refresh whose retry budget exhausts during
+        a PS outage *degrades gracefully*: the affected table keeps serving
+        its current (stale) rows past the staleness bound ``P``, the
+        overrun is recorded, and the sync counter is **not** reset so the
+        next iteration retries immediately.
+        """
         from repro.ps.network import CommRecord
 
         comm = CommRecord()
+        degradable_pull = getattr(self.server, "try_pull", None)
         with self.trace.span("cache.sync", "cache") as span:
             refreshed = 0
+            degraded = False
             for kind, table in self._tables.items():
                 ids = table.ids
-                if len(ids):
+                if not len(ids):
+                    continue
+                if degradable_pull is not None:
+                    rows, c = degradable_pull(kind, ids)
+                else:
                     rows, c = self.server.pull(kind, ids, self.machine)
-                    comm.merge(c)
-                    table.set(ids, rows)
-                    refreshed += len(ids)
-            self._iterations_since_sync = 0
-            span.set(rows=refreshed, bytes=comm.total_bytes)
+                comm.merge(c)
+                if rows is None:
+                    degraded = True
+                    continue
+                table.set(ids, rows)
+                refreshed += len(ids)
+            if degraded:
+                overrun = max(
+                    1, self._iterations_since_sync - self.sync_period + 1
+                )
+                self.staleness_overruns += 1
+                self.max_staleness_overrun = max(
+                    self.max_staleness_overrun, overrun
+                )
+                self.trace.count("cache.stale_overruns")
+                span.set(
+                    rows=refreshed,
+                    bytes=comm.total_bytes,
+                    degraded=True,
+                    overrun=overrun,
+                )
+            else:
+                self._iterations_since_sync = 0
+                span.set(rows=refreshed, bytes=comm.total_bytes)
         self.trace.count("cache.syncs")
         return comm
+
+    # ------------------------------------------------------------- invalidate
+
+    def invalidate(self) -> None:
+        """Drop every cached row and all local optimizer state.
+
+        This is what a machine crash does to its worker: the hot tables
+        are derived state and vanish with the process.  The strategy's
+        setup + :meth:`install` rebuild them afterwards (paying the full
+        pull cost again).  Hit/miss counters survive — they describe the
+        whole run, crashes included.
+        """
+        for kind, table in self._tables.items():
+            table.install(
+                np.empty(0, dtype=np.int64), np.zeros((0, table.width))
+            )
+            self._local_optimizers[kind] = SparseAdagrad(self.local_lr)
+        self._iterations_since_sync = 0
 
     # ------------------------------------------------------------------ stats
 

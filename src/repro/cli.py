@@ -30,6 +30,27 @@ def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="inject deterministic faults (repro.faults), e.g. "
+        "'drop=0.05', 'drop=0.2@10:200,crash=w1@25,seed=7', "
+        "'ps-out=0@30:40', 'delay=0.1x0.05', 'slow=w2x3@20:40'",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="auto-checkpoint the global state every N iterations "
+        "(crash recovery rewinds a dead machine's shard to the last "
+        "snapshot; with --checkpoint PATH snapshots are also written "
+        "to disk atomically)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hetkg",
@@ -44,6 +65,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", type=float, default=None, help="dataset scale factor")
     run.add_argument("--epochs", type=int, default=None, help="training epochs")
     run.add_argument("--seed", type=int, default=None, help="master seed")
+    run.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="fault spec forwarded to runners that support chaos "
+        "(currently 'fault-tolerance'), e.g. 'drop=0.1,crash=w1@20'",
+    )
     _add_trace_flag(run)
 
     report = sub.add_parser(
@@ -62,7 +90,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     train = sub.add_parser(
-        "train", help="train a KGE model on a built-in or TSV dataset"
+        "train",
+        help="train a KGE model on a built-in or TSV dataset",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "examples:\n"
+            "  hetkg train --dataset fb15k --system hetkg-d\n"
+            "  hetkg train --faults 'drop=0.05' --checkpoint-every 8\n"
+            "  hetkg train --faults 'drop=0.2@10:60,crash=w1@25,seed=7' \\\n"
+            "      --checkpoint-every 4 --checkpoint state.npz\n"
+            "  hetkg train --faults 'ps-out=0@30:40,slow=w2x3@20:40'\n"
+            "(see docs/fault_tolerance.md for the full --faults grammar)"
+        ),
     )
     source = train.add_mutually_exclusive_group()
     source.add_argument(
@@ -91,6 +130,7 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument(
         "--checkpoint", default=None, help="write final embeddings here (.npz)"
     )
+    _add_fault_flags(train)
     _add_trace_flag(train)
 
     serve = sub.add_parser(
@@ -165,8 +205,8 @@ def _runner_kwargs(runner, args: argparse.Namespace) -> dict:
     """Only pass overrides the runner's signature accepts."""
     accepted = inspect.signature(runner).parameters
     kwargs = {}
-    for name in ("scale", "epochs", "seed"):
-        value = getattr(args, name)
+    for name in ("scale", "epochs", "seed", "faults"):
+        value = getattr(args, name, None)
         if value is not None and name in accepted:
             kwargs[name] = value
     return kwargs
@@ -202,14 +242,32 @@ def _train(args: argparse.Namespace) -> int:
         sync_period=args.sync_period,
         seed=args.seed,
     )
+    fault_plan = None
+    if args.faults or args.checkpoint_every is not None:
+        if args.system.lower() == "pbg":
+            print("--faults/--checkpoint-every are not supported for the PBG baseline")
+            return 2
+    if args.faults:
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan.parse(args.faults)
+
     trainer = make_trainer(args.system, config)
     start = time.time()
+    train_kwargs = {}
+    if fault_plan is not None or args.checkpoint_every is not None:
+        train_kwargs = dict(
+            faults=fault_plan,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.checkpoint,
+        )
     result = trainer.train(
         split.train,
         eval_graph=split.test,
         filter_set=graph.triple_set(),
         eval_max_queries=args.eval_queries,
         eval_candidates=None,
+        **train_kwargs,
     )
     print(
         format_table(
@@ -228,6 +286,11 @@ def _train(args: argparse.Namespace) -> int:
         )
     )
     print(f"(wall time: {time.time() - start:.1f}s)")
+    if result.fault_stats:
+        interesting = {
+            k: v for k, v in result.fault_stats.items() if v
+        }
+        print(f"fault stats: {interesting or 'no faults fired'}")
     if args.checkpoint is not None:
         if args.system.lower() == "pbg":
             print("checkpointing is not supported for the PBG baseline")

@@ -4,12 +4,20 @@ Long Freebase-scale runs need restartability.  A checkpoint captures the
 global embedding tables, the server-side AdaGrad accumulators, and enough
 config metadata to refuse restoring into an incompatible trainer.  The
 format is a single ``.npz`` archive.
+
+Writes are **atomic**: the archive is staged to a temporary file in the
+destination directory and moved into place with :func:`os.replace`, so a
+crash mid-save (the exact scenario the fault-injection layer exercises)
+can never leave a corrupt or partial checkpoint — the previous one, if
+any, survives intact.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
+import warnings
 
 import numpy as np
 
@@ -21,7 +29,7 @@ FORMAT_VERSION = 1
 
 
 def save_checkpoint(trainer: HETKGTrainer, path: str | os.PathLike[str]) -> None:
-    """Write the trainer's global state to ``path`` (.npz).
+    """Write the trainer's global state to ``path`` (.npz), atomically.
 
     The trainer must be set up (tables exist).  Worker-local cache contents
     are deliberately *not* saved: they are derived state and are rebuilt by
@@ -46,14 +54,36 @@ def save_checkpoint(trainer: HETKGTrainer, path: str | os.PathLike[str]) -> None
     if isinstance(optimizer, SparseAdagrad):
         for name, acc in optimizer._accumulators.items():
             arrays[f"adagrad_{name}"] = acc
-    np.savez(path, **arrays)
+
+    # Stage in the same directory (same filesystem) so os.replace is an
+    # atomic rename; a crash between write and replace leaves only a
+    # stray ``.tmp`` file, never a truncated archive at ``path``.
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as f:
+            # np.savez on a file object does not append ".npz" to anything.
+            np.savez(f, **arrays)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def load_checkpoint(trainer: HETKGTrainer, path: str | os.PathLike[str]) -> None:
     """Restore a checkpoint into a set-up trainer, in place.
 
-    Raises ``ValueError`` when the checkpoint's model geometry does not
-    match the trainer's.
+    Raises ``ValueError`` when the checkpoint's model geometry (or any
+    restored optimizer state's shape) does not match the trainer's.  Warns
+    when the checkpoint carries AdaGrad accumulators but the trainer's
+    optimizer cannot use them (they would otherwise be dropped silently,
+    changing the effective learning-rate schedule after a resume).
     """
     if trainer.server is None:
         raise RuntimeError("set up the trainer (setup()/train()) before loading")
@@ -65,7 +95,7 @@ def load_checkpoint(trainer: HETKGTrainer, path: str | os.PathLike[str]) -> None
                 f"supported (expected {FORMAT_VERSION})"
             )
         store = trainer.server.store
-        for field, kind in (("model", None), ("dim", None)):
+        for field in ("model", "dim"):
             expected = getattr(trainer.config, field)
             if meta[field] != expected:
                 raise ValueError(
@@ -78,9 +108,30 @@ def load_checkpoint(trainer: HETKGTrainer, path: str | os.PathLike[str]) -> None
                     f"checkpoint has {meta[key]} {kind} rows, trainer has "
                     f"{len(store.table(kind))}"
                 )
+        accumulator_keys = [k for k in data.files if k.startswith("adagrad_")]
+        optimizer = trainer.server.optimizer
+        if accumulator_keys and not isinstance(optimizer, SparseAdagrad):
+            warnings.warn(
+                "checkpoint carries AdaGrad accumulator state but the "
+                f"trainer's optimizer is {type(optimizer).__name__}; the "
+                "accumulators are ignored and the optimizer resumes cold",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        # Validate accumulator shapes against the live tables *before*
+        # mutating anything, so a bad archive cannot leave the trainer
+        # half-restored (and the error names the mismatch instead of a
+        # later broadcast crash inside the optimizer).
+        if isinstance(optimizer, SparseAdagrad):
+            for name in ("entity", "relation"):
+                key = f"adagrad_{name}"
+                if key in data and data[key].shape != store.table(name).shape:
+                    raise ValueError(
+                        f"checkpoint {key} has shape {data[key].shape}, but "
+                        f"the live {name} table is {store.table(name).shape}"
+                    )
         store.table("entity")[:] = data["entity_table"]
         store.table("relation")[:] = data["relation_table"]
-        optimizer = trainer.server.optimizer
         if isinstance(optimizer, SparseAdagrad):
             optimizer.reset()
             for name in ("entity", "relation"):

@@ -63,6 +63,9 @@ class TrainResult:
     comm_totals: CommRecord
     cache_hit_ratio: float
     final_metrics: dict[str, float] = field(default_factory=dict)
+    #: Fault/recovery counters when a FaultPlan was active (see
+    #: :class:`repro.faults.FaultStats.as_dict`; empty for fault-free runs).
+    fault_stats: dict[str, float] = field(default_factory=dict)
 
     @property
     def communication_fraction(self) -> float:
@@ -197,7 +200,7 @@ class HETKGTrainer:
             )
 
     def _wire_tracer(self, tracer: Tracer) -> None:
-        """Bind observability scopes across layers (worker/cache/PS)."""
+        """Bind observability scopes across layers (worker/cache/RPC/PS)."""
         assert self.server is not None
         for worker in self.workers:
             worker.trace = tracer.scope(f"worker{worker.machine}", worker.clock)
@@ -205,9 +208,54 @@ class HETKGTrainer:
                 worker.cache.trace = tracer.scope(
                     f"cache{worker.machine}", worker.clock
                 )
+            if worker._fault_channel is not None:
+                worker._fault_channel.trace = tracer.scope(
+                    f"rpc{worker.machine}", worker.clock
+                )
             self.server.bind_trace(
                 worker.machine, tracer.scope(f"ps@w{worker.machine}", worker.clock)
             )
+
+    def _install_faults(self, faults, checkpoint_every, checkpoint_path, telemetry):
+        """Build the chaos layer for this train() call (or tear it down).
+
+        Returns ``(injector, checkpoints)``.  Passing ``faults=None``
+        restores direct PS access, so a later fault-free ``train()`` call
+        on the same trainer is exactly an injector-free run.
+        """
+        assert self.server is not None
+        checkpoints = None
+        if checkpoint_every is not None or checkpoint_path is not None:
+            from repro.faults.recovery import CheckpointManager
+
+            checkpoints = CheckpointManager(
+                self, every=checkpoint_every, path=checkpoint_path
+            )
+        if faults is None:
+            for worker in self.workers:
+                if worker._fault_channel is not None:
+                    worker.uninstall_faults(self.server)
+            return None, checkpoints
+        from repro.faults.injector import FaultInjector
+        from repro.faults.recovery import ShardRecovery
+        from repro.faults.rpc import FaultyPSChannel
+
+        injector = FaultInjector(faults)
+        recovery = (
+            ShardRecovery(self.server, checkpoints)
+            if checkpoints is not None
+            else None
+        )
+        for worker in self.workers:
+            channel = FaultyPSChannel(
+                self.server,
+                worker.machine,
+                injector,
+                worker.clock,
+                telemetry=telemetry,
+            )
+            worker.install_faults(channel, injector, recovery)
+        return injector, checkpoints
 
     # ------------------------------------------------------------------ train
 
@@ -221,6 +269,9 @@ class HETKGTrainer:
         eval_candidates: int | None = 500,
         telemetry: Telemetry | None = None,
         tracer: Tracer | None = None,
+        faults=None,
+        checkpoint_every: int | None = None,
+        checkpoint_path=None,
     ) -> TrainResult:
         """Run ``config.epochs`` epochs; optionally evaluate along the way.
 
@@ -237,11 +288,25 @@ class HETKGTrainer:
             Optional :mod:`repro.obs` tracer; defaults to the
             process-wide tracer (installed by the CLI ``--trace`` flag),
             which is the zero-cost null tracer when tracing is off.
+        faults:
+            Optional :class:`repro.faults.FaultPlan` — deterministic
+            chaos for this run.  A plan scheduling no faults reproduces
+            the injector-free run bit-for-bit (the no-op invariant).
+        checkpoint_every:
+            Auto-checkpoint the global state every this many iterations
+            (crash recovery rewinds a dead machine's shard to the last
+            snapshot).
+        checkpoint_path:
+            Optional ``.npz`` path; every auto-checkpoint is also written
+            to disk atomically.
         """
         self.setup(train_graph)
         if telemetry is not None:
             for worker in self.workers:
                 worker.telemetry = telemetry
+        injector, checkpoints = self._install_faults(
+            faults, checkpoint_every, checkpoint_path, telemetry
+        )
         active_tracer = tracer if tracer is not None else get_tracer()
         if active_tracer.enabled:
             self._wire_tracer(active_tracer)
@@ -260,6 +325,7 @@ class HETKGTrainer:
         for worker in self.workers:
             worker.start()
 
+        global_iteration = 0
         for epoch in range(1, cfg.epochs + 1):
             losses = []
             # Round-robin interleaving simulates concurrent asynchronous
@@ -269,6 +335,9 @@ class HETKGTrainer:
             for _ in range(iterations):
                 for worker in self.workers:
                     losses.append(worker.step())
+                global_iteration += 1
+                if checkpoints is not None:
+                    checkpoints.maybe_snapshot(global_iteration)
 
             metrics: dict[str, float] = {}
             is_last = epoch == cfg.epochs
@@ -304,6 +373,15 @@ class HETKGTrainer:
         slowest = self.workers[slowest_i]
         base = clock_base[slowest_i]
         hit_ratios = [w.cache_hit_ratio() for w in self.workers]
+        fault_stats: dict[str, float] = {}
+        if injector is not None:
+            fault_stats = injector.stats.as_dict()
+            fault_stats["recovery_time"] = sum(
+                w.clock.category("recovery") - base.category("recovery")
+                for w, base in zip(self.workers, clock_base)
+            )
+        if checkpoints is not None:
+            fault_stats["checkpoints"] = checkpoints.saves
         return TrainResult(
             config=cfg,
             system=self.system_name,
@@ -316,6 +394,7 @@ class HETKGTrainer:
             comm_totals=self.network.totals.difference(comm_base),
             cache_hit_ratio=float(np.mean(hit_ratios)) if hit_ratios else 0.0,
             final_metrics=history.points[-1].metrics if history.points else {},
+            fault_stats=fault_stats,
         )
 
     # --------------------------------------------------------------- evaluate

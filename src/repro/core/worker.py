@@ -92,6 +92,40 @@ class Worker:
         self._step_comm: CommRecord | None = None
         self.iterations = 0
         self._started = False
+        # Fault-injection hooks (installed by the trainer when a FaultPlan
+        # is active; all None in the fault-free fast path).
+        self._fault_channel = None
+        self._fault_injector = None
+        self._shard_recovery = None
+        self.recoveries = 0
+
+    # ----------------------------------------------------------------- faults
+
+    def install_faults(self, channel, injector, shard_recovery=None) -> None:
+        """Splice a retrying, fault-injecting RPC channel between this
+        worker (and its cache) and the parameter server.
+
+        ``channel`` must expose the :class:`~repro.ps.server.ParameterServer`
+        ``pull``/``push`` signature (see
+        :class:`~repro.faults.rpc.FaultyPSChannel`); ``shard_recovery`` is
+        the crash-restart hook restoring this machine's PS shard from the
+        last checkpoint.
+        """
+        self._fault_channel = channel
+        self._fault_injector = injector
+        self._shard_recovery = shard_recovery
+        self.server = channel
+        if self.cache is not None:
+            self.cache.server = channel
+
+    def uninstall_faults(self, server: ParameterServer) -> None:
+        """Remove the fault channel, restoring direct PS access."""
+        self._fault_channel = None
+        self._fault_injector = None
+        self._shard_recovery = None
+        self.server = server
+        if self.cache is not None:
+            self.cache.server = server
 
     # ------------------------------------------------------------------ setup
 
@@ -116,6 +150,14 @@ class Worker:
         """Run one training iteration; returns the batch loss."""
         if not self._started:
             self.start()
+        step_index = self.iterations + 1
+        if self._fault_channel is not None:
+            # Line the RPC channel's fault windows up with this step.
+            self._fault_channel.iteration = step_index
+        if self._fault_injector is not None and self._fault_injector.crash_due(
+            self.machine, step_index
+        ):
+            self._crash_restart(step_index)
         self._step_comm = CommRecord()
         if self.cache is not None:
             stats_before = self.cache.combined_stats()
@@ -164,9 +206,13 @@ class Worker:
             grads = compute_batch_gradients(
                 self.model, self.loss, batch, ent_ids, ent_rows, rel_ids, rel_rows
             )
-            self.clock.advance(
-                self.compute.batch_time(grads.num_scores, self.cost_dim), "compute"
-            )
+            batch_time = self.compute.batch_time(grads.num_scores, self.cost_dim)
+            if self._fault_injector is not None:
+                # Transient straggler windows slow this machine's compute.
+                batch_time *= self._fault_injector.straggler_factor(
+                    self.machine, step_index
+                )
+            self.clock.advance(batch_time, "compute")
             span.set(scores=grads.num_scores)
 
         # 5. local cache update + push everything to the PS.
@@ -213,6 +259,55 @@ class Worker:
             )
         self._step_comm = None
         return grads.loss
+
+    # --------------------------------------------------------------- recovery
+
+    def _crash_restart(self, step_index: int) -> None:
+        """Simulate this machine crashing and coming back.
+
+        What is lost and what it costs (all charged to this clock):
+
+        1. the PS shard this machine owned rewinds to the last checkpoint
+           (``restart_delay + restored_bytes / recovery_bandwidth`` seconds,
+           category ``"recovery"``);
+        2. the hot-embedding cache is gone — the CPS/DPS setup re-runs
+           (prefetch/filter overhead as ``"compute"``) and the hot table is
+           re-installed, re-pulling every hot row (``"communication"``).
+        """
+        assert self._fault_injector is not None
+        plan = self._fault_injector.plan
+        with self.trace.span("crash_restart", "recovery") as span:
+            restored_bytes = 0
+            if self._shard_recovery is not None:
+                restored_bytes = self._shard_recovery.restore(self.machine)
+            downtime = plan.restart_delay + restored_bytes / plan.recovery_bandwidth
+            self.clock.advance(downtime, "recovery")
+            span.set(restored_bytes=restored_bytes, downtime=downtime)
+            if self.cache is not None and self.strategy is not None:
+                self.cache.invalidate()
+                with self.trace.span("recover.setup", "compute"):
+                    hot = self.strategy.setup(self.sampler)
+                    self._charge_overhead()
+                with self.trace.span("recover.install", "communication") as s:
+                    comm = self.cache.install(hot)
+                    self._charge_comm(comm)
+                    s.set(bytes=comm.total_bytes)
+            self._fault_injector.stats.recoveries += 1
+            self._fault_injector.stats.recovery_seconds += downtime
+        self.recoveries += 1
+        self.trace.count("worker.recoveries")
+        if self.telemetry is not None:
+            from repro.core.telemetry import FaultEvent
+
+            self.telemetry.add_event(
+                FaultEvent(
+                    worker=self.machine,
+                    iteration=step_index,
+                    kind="crash_restart",
+                    sim_time=self.clock.elapsed,
+                    detail=f"restored {restored_bytes} B",
+                )
+            )
 
     # ------------------------------------------------------------------ stats
 

@@ -208,5 +208,16 @@ PAPER_REFERENCES: dict[str, PaperReference] = {
             "larger micro-batches raise throughput while bounded batching "
             "delay keeps tail latency near max_wait",
         ),
+        PaperReference(
+            "fault-tolerance",
+            "(extension beyond the paper)",
+            "n/a — the paper evaluates on a healthy testbed; this studies "
+            "graceful degradation under injected RPC drops and a worker "
+            "crash recovered from a periodic checkpoint.",
+            "overhead grows with fault pressure for every system; retries, "
+            "lost pushes and recoveries are non-zero exactly when faults "
+            "are injected, and HET-KG's cached hot rows retransmit less "
+            "than DGL-KE's per-step pulls under the same drop rate",
+        ),
     ]
 }

@@ -23,6 +23,7 @@ from repro.experiments.cache_study import (
 )
 from repro.experiments.common import ExperimentResult
 from repro.experiments.efficiency import run_fig5, run_fig6, run_fig7
+from repro.experiments.fault_tolerance import run_fault_tolerance
 from repro.experiments.microbench import run_fig2, run_table1, run_table2
 from repro.experiments.serving_study import run_serving_batcher, run_serving_cache
 
@@ -51,6 +52,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ablation-model-zoo": run_model_zoo,
     "serving-cache": run_serving_cache,
     "serving-batcher": run_serving_batcher,
+    "fault-tolerance": run_fault_tolerance,
 }
 
 

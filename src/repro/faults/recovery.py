@@ -1,0 +1,135 @@
+"""Crash-restart machinery: periodic checkpoints and shard restoration.
+
+The simulated cluster co-locates one worker and one PS shard per machine
+(the paper's §V layout), so a machine crash loses two things:
+
+* the worker's **hot-embedding cache** — derived state, rebuilt by
+  re-running the CPS/DPS setup (prefetch → filter → install), paying the
+  full communication cost again;
+* the machine's **PS shard** — authoritative state, rewound to the last
+  checkpoint.  Rows owned by surviving shards keep their progress, exactly
+  as in a real sharded-PS recovery.
+
+:class:`CheckpointManager` takes an in-memory snapshot (tables + AdaGrad
+accumulators) every ``every`` global iterations, and — when given a path —
+also persists it through :func:`repro.core.checkpoint.save_checkpoint`,
+whose atomic write guarantees a crash mid-save never corrupts the archive.
+Snapshotting itself is *not* charged to any clock (modelled as an
+asynchronous copy-on-write snapshot); recovery is charged in full to the
+crashed machine's clock by the worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.optim.adagrad import SparseAdagrad
+from repro.ps.network import BYTES_PER_ELEMENT
+from repro.ps.server import ParameterServer
+
+
+@dataclass
+class CheckpointSnapshot:
+    """One point-in-time copy of the global training state."""
+
+    step: int
+    tables: dict[str, np.ndarray]
+    accumulators: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+class CheckpointManager:
+    """Periodic snapshots of a trainer's parameter-server state.
+
+    Parameters
+    ----------
+    trainer:
+        A set-up :class:`~repro.core.trainer.HETKGTrainer` (or subclass).
+    every:
+        Snapshot every this many global iterations (``None`` = only when
+        :meth:`snapshot` is called explicitly).
+    path:
+        Optional ``.npz`` destination; every snapshot is also written to
+        disk atomically via :func:`repro.core.checkpoint.save_checkpoint`.
+    """
+
+    def __init__(self, trainer, every: int | None = None, path=None) -> None:
+        if every is not None and every < 1:
+            raise ValueError(f"checkpoint interval must be >= 1, got {every}")
+        self.trainer = trainer
+        self.every = every
+        self.path = path
+        self.last: CheckpointSnapshot | None = None
+        self.saves = 0
+
+    def maybe_snapshot(self, step: int) -> bool:
+        """Snapshot iff a period boundary was reached; returns whether."""
+        if self.every is None or step % self.every != 0:
+            return False
+        self.snapshot(step)
+        return True
+
+    def snapshot(self, step: int) -> CheckpointSnapshot:
+        """Copy the global tables (+ optimizer state) right now."""
+        server = self.trainer.server
+        if server is None:
+            raise RuntimeError("trainer has no state yet; call setup() or train()")
+        tables = {
+            kind: server.store.table(kind).copy() for kind in ("entity", "relation")
+        }
+        accumulators: dict[str, np.ndarray] = {}
+        if isinstance(server.optimizer, SparseAdagrad):
+            accumulators = {
+                name: acc.copy()
+                for name, acc in server.optimizer._accumulators.items()
+            }
+        self.last = CheckpointSnapshot(step, tables, accumulators)
+        self.saves += 1
+        if self.path is not None:
+            from repro.core.checkpoint import save_checkpoint
+
+            save_checkpoint(self.trainer, self.path)
+        return self.last
+
+
+class ShardRecovery:
+    """Restores a crashed machine's PS shard from the last checkpoint.
+
+    Returns the number of (wire-scaled) bytes reloaded so the worker can
+    convert the restore into simulated seconds through the plan's
+    ``recovery_bandwidth``.
+    """
+
+    def __init__(self, server: ParameterServer, checkpoints: CheckpointManager) -> None:
+        self.server = server
+        self.checkpoints = checkpoints
+
+    def restore(self, machine: int) -> int:
+        """Rewind rows owned by ``machine`` to the last snapshot.
+
+        Without any snapshot yet there is nothing to rewind (the shard is
+        modelled as recovered from its co-located replica): only the
+        worker-local cache is lost, and 0 bytes are reported.
+        """
+        snap = self.checkpoints.last
+        if snap is None:
+            return 0
+        store = self.server.store
+        optimizer = self.server.optimizer
+        restored_bytes = 0
+        for kind in ("entity", "relation"):
+            ids = store.owned_ids(kind, machine)
+            if ids.size == 0:
+                continue
+            store.table(kind)[ids] = snap.tables[kind][ids]
+            restored_bytes += int(
+                ids.size
+                * store.row_width(kind)
+                * BYTES_PER_ELEMENT
+                * self.server.byte_scale
+            )
+            if kind in snap.accumulators and isinstance(optimizer, SparseAdagrad):
+                acc = optimizer._accumulator_for(kind, store.table(kind))
+                acc[ids] = snap.accumulators[kind][ids]
+        return restored_bytes

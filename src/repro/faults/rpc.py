@@ -1,0 +1,234 @@
+"""Retrying RPC channel between one machine and the parameter server.
+
+:class:`FaultyPSChannel` is a drop-in facade over
+:class:`~repro.ps.server.ParameterServer` with the same ``pull``/``push``
+signature, so the trainer can splice it between a worker (and its
+:class:`~repro.cache.sync.HotEmbeddingCache`) and the PS without either
+side changing.  Per attempt it consults the
+:class:`~repro.faults.injector.FaultInjector`:
+
+* **drop** — the attempt's bytes are metered (the wire carried them, and
+  they are additionally annotated as ``retransmit_bytes``), the caller's
+  clock is charged the RPC ``timeout`` plus an exponential backoff with
+  deterministic jitter, and the operation retries;
+* **PS-shard outage** — same failure path, but deterministic for every
+  attempt inside the outage window;
+* **delay** — a successful attempt charges extra in-flight seconds.
+
+All waiting time lands on the machine's :class:`~repro.utils.simclock.SimClock`
+under ``"communication"`` (inside an ``rpc.retry_wait`` span), so fault
+overhead shows up directly in the Fig. 7-style compute/communication
+breakdown; all failed-attempt traffic is merged into the returned
+:class:`~repro.ps.network.CommRecord`, which the worker charges into the
+shared :class:`~repro.ps.network.NetworkModel` exactly once, as always.
+
+Retry-budget exhaustion degrades rather than deadlocks:
+
+* ``pull`` (training needs the rows) **forces through** — modelling a
+  failover read against a replica — and counts a ``forced_pull``;
+* ``try_pull`` (used by the cache's periodic synchronization) **gives up**
+  and returns ``rows=None`` so the cache can serve stale hot rows past
+  the staleness bound ``P`` and record the overrun;
+* ``push`` **drops the gradient** (the PS never sees it; the worker's own
+  cache already absorbed it locally) and counts a ``lost_push``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.injector import FaultInjector
+from repro.obs.tracer import NULL_SCOPE
+from repro.ps.network import CommRecord
+from repro.ps.server import ParameterServer
+from repro.utils.simclock import SimClock
+
+
+class RetriesExhausted(RuntimeError):
+    """An RPC burned its whole retry budget without reaching the PS."""
+
+    def __init__(self, op: str, kind: str, attempts: int) -> None:
+        super().__init__(
+            f"{op}({kind!r}) failed after {attempts} attempts (retry budget)"
+        )
+        self.op = op
+        self.kind = kind
+        self.attempts = attempts
+
+
+class FaultyPSChannel:
+    """Per-machine retrying RPC shim in front of the parameter server.
+
+    Parameters
+    ----------
+    server:
+        The real (shared) parameter server.
+    machine:
+        The machine this channel belongs to (its faults, its clock).
+    injector:
+        The cluster-wide deterministic fault source.
+    clock:
+        The machine's simulated clock; timeouts/backoffs/delays are
+        charged here under ``"communication"``.
+    telemetry:
+        Optional :class:`~repro.core.telemetry.Telemetry`; retry and
+        degradation events are recorded as
+        :class:`~repro.core.telemetry.FaultEvent` rows.
+    """
+
+    def __init__(
+        self,
+        server: ParameterServer,
+        machine: int,
+        injector: FaultInjector,
+        clock: SimClock,
+        telemetry=None,
+    ) -> None:
+        self.server = server
+        self.machine = machine
+        self.injector = injector
+        self.policy = injector.plan.retry
+        self.clock = clock
+        self.telemetry = telemetry
+        #: Current worker-local step index (1-based), updated by the worker
+        #: before each step so fault windows line up with training progress.
+        self.iteration = 0
+        #: Observability scope, bound by the trainer when tracing is on.
+        self.trace = NULL_SCOPE
+
+    # ------------------------------------------------------------------- pulls
+
+    def pull(self, kind: str, ids: np.ndarray, machine: int | None = None):
+        """Fetch rows, retrying through faults; always returns.
+
+        After the retry budget is exhausted the read forces through
+        (failover semantics) so training can continue; the event is
+        counted as ``forced_pulls``.
+        """
+        rows, comm, ok = self._pull_attempts(kind, ids)
+        if not ok:
+            self.injector.stats.forced_pulls += 1
+            self.trace.count("rpc.forced_pulls")
+            self._event("forced_pull", f"{kind} x{len(np.atleast_1d(ids))}")
+            # Failover read: pay one more full timeout, then the real pull.
+            self._wait(self.policy.timeout)
+            rows, final = self.server.pull(kind, ids, self.machine)
+            comm.merge(final)
+        return rows, comm
+
+    def try_pull(self, kind: str, ids: np.ndarray):
+        """Fetch rows, retrying through faults; may give up.
+
+        Returns ``(rows, comm)`` with ``rows=None`` when the retry budget
+        was exhausted — the degradable path used by the cache's periodic
+        synchronization, which can safely serve stale rows instead.
+        """
+        rows, comm, ok = self._pull_attempts(kind, ids)
+        if not ok:
+            self.injector.stats.stale_overruns += 1
+            self.trace.count("rpc.degraded_reads")
+            self._event("stale_overrun", f"{kind} x{len(np.atleast_1d(ids))}")
+        return (rows if ok else None), comm
+
+    # ------------------------------------------------------------------ pushes
+
+    def push(self, kind: str, ids: np.ndarray, grads: np.ndarray, machine: int | None = None):
+        """Send gradients, retrying through faults; may drop the update.
+
+        A push whose retry budget exhausts is *lost*: the PS never applies
+        the gradient (asynchronous SGD tolerates it; the worker's local
+        cache copy already absorbed the update), counted as ``lost_pushes``.
+        """
+        comm = CommRecord()
+        attempt = 0
+        while attempt < self.policy.max_attempts:
+            attempt += 1
+            if self._attempt_fails(kind, ids):
+                self._record_failure(comm, kind, ids, attempt)
+                continue
+            final = self.server.push(kind, ids, grads, self.machine)
+            self._apply_delay()
+            comm.merge(final)
+            return comm
+        self.injector.stats.lost_pushes += 1
+        self.trace.count("rpc.lost_pushes")
+        self._event("lost_push", f"{kind} x{len(np.atleast_1d(ids))}")
+        return comm
+
+    # ---------------------------------------------------------------- internal
+
+    def _pull_attempts(self, kind: str, ids: np.ndarray):
+        """Shared retry loop for reads: ``(rows, comm, succeeded)``."""
+        comm = CommRecord()
+        attempt = 0
+        while attempt < self.policy.max_attempts:
+            attempt += 1
+            if self._attempt_fails(kind, ids):
+                self._record_failure(comm, kind, ids, attempt)
+                continue
+            rows, final = self.server.pull(kind, ids, self.machine)
+            self._apply_delay()
+            comm.merge(final)
+            return rows, comm, True
+        return None, comm, False
+
+    def _attempt_fails(self, kind: str, ids: np.ndarray) -> bool:
+        """One attempt's fate: outage (deterministic) or drop (seeded)."""
+        injector = self.injector
+        if injector.plan.outages and injector.ps_unavailable(
+            self.server.touched_shards(kind, ids), self.iteration
+        ):
+            return True
+        return injector.should_drop(self.machine, self.iteration)
+
+    def _record_failure(
+        self, comm: CommRecord, kind: str, ids: np.ndarray, attempt: int
+    ) -> None:
+        """Meter a failed attempt's wasted wire traffic and wait it out."""
+        wasted = self.server.meter(kind, ids, self.machine)
+        wasted.retransmit_bytes = wasted.total_bytes
+        comm.merge(wasted)
+        self.injector.stats.retries += 1
+        self.trace.count("rpc.retries")
+        self._event("retry", f"{kind} attempt {attempt}")
+        backoff = self.policy.backoff(attempt)
+        if backoff > 0.0 and self.policy.backoff_jitter > 0.0:
+            backoff *= 1.0 + self.policy.backoff_jitter * self.injector.backoff_jitter(
+                self.machine
+            )
+        self._wait(self.policy.timeout + backoff)
+
+    def _wait(self, seconds: float) -> None:
+        """Charge timeout/backoff time to the machine's clock."""
+        if seconds <= 0.0:
+            return
+        self.injector.stats.retry_wait_seconds += seconds
+        with self.trace.span("rpc.retry_wait", "communication") as span:
+            self.clock.advance(seconds, "communication")
+            span.set(seconds=seconds)
+
+    def _apply_delay(self) -> None:
+        """Inject scheduled in-flight latency into a successful attempt."""
+        plan = self.injector.plan
+        if not plan.delays:
+            return
+        extra = self.injector.delay_seconds(self.machine, self.iteration)
+        if extra > 0.0:
+            self.trace.count("rpc.delays")
+            with self.trace.span("rpc.injected_delay", "communication") as span:
+                self.clock.advance(extra, "communication")
+                span.set(seconds=extra)
+
+    def _event(self, kind: str, detail: str) -> None:
+        if self.telemetry is not None:
+            from repro.core.telemetry import FaultEvent
+
+            self.telemetry.add_event(
+                FaultEvent(
+                    worker=self.machine,
+                    iteration=self.iteration,
+                    kind=kind,
+                    sim_time=self.clock.elapsed,
+                    detail=detail,
+                )
+            )

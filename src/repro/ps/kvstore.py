@@ -94,6 +94,14 @@ class ShardedKVStore:
         local_mask = owners == machine
         return ids[local_mask], ids[~local_mask]
 
+    def owned_ids(self, kind: str, machine: int) -> np.ndarray:
+        """All row ids whose shard lives on ``machine``.
+
+        Used by crash recovery: when a machine dies, exactly the rows it
+        owned are lost and must be restored from the last checkpoint.
+        """
+        return np.flatnonzero(self._owners[kind] == machine).astype(np.int64)
+
     def remote_machine_count(self, kind: str, ids: np.ndarray, machine: int) -> int:
         """Number of distinct remote machines holding rows in ``ids``."""
         ids = np.asarray(ids, dtype=np.int64)

@@ -27,18 +27,27 @@ BYTES_PER_ELEMENT = 4
 
 @dataclass
 class CommRecord:
-    """Byte/message counts for one pull or push operation."""
+    """Byte/message counts for one pull or push operation.
+
+    ``retransmit_bytes`` annotates how many of the counted bytes were
+    wasted on failed/retried attempts (fault injection): those bytes are
+    *already included* in ``local_bytes``/``remote_bytes`` — the wire
+    carried them — so the field never contributes to :attr:`total_bytes`;
+    it exists so reports can split useful traffic from fault overhead.
+    """
 
     local_bytes: int = 0
     remote_bytes: int = 0
     local_messages: int = 0
     remote_messages: int = 0
+    retransmit_bytes: int = 0
 
     def merge(self, other: "CommRecord") -> None:
         self.local_bytes += other.local_bytes
         self.remote_bytes += other.remote_bytes
         self.local_messages += other.local_messages
         self.remote_messages += other.remote_messages
+        self.retransmit_bytes += other.retransmit_bytes
 
     @property
     def total_bytes(self) -> int:
@@ -54,6 +63,7 @@ class CommRecord:
             remote_bytes=self.remote_bytes,
             local_messages=self.local_messages,
             remote_messages=self.remote_messages,
+            retransmit_bytes=self.retransmit_bytes,
         )
 
     def difference(self, baseline: "CommRecord") -> "CommRecord":
@@ -63,6 +73,7 @@ class CommRecord:
             remote_bytes=self.remote_bytes - baseline.remote_bytes,
             local_messages=self.local_messages - baseline.local_messages,
             remote_messages=self.remote_messages - baseline.remote_messages,
+            retransmit_bytes=self.retransmit_bytes - baseline.retransmit_bytes,
         )
 
 

@@ -125,6 +125,22 @@ class ParameterServer:
             )
         return comm
 
+    # --------------------------------------------------------------- metering
+
+    def meter(self, kind: str, ids: np.ndarray, machine: int) -> CommRecord:
+        """Public traffic estimate for moving rows ``ids`` to/from
+        ``machine`` **without** touching any state.
+
+        The fault-injection RPC shim uses this to account the wire cost of
+        attempts whose payload was lost in transit (a dropped push must not
+        apply the optimizer, but its bytes still crossed the network).
+        """
+        return self._meter(kind, np.asarray(ids, dtype=np.int64), machine)
+
+    def touched_shards(self, kind: str, ids: np.ndarray) -> np.ndarray:
+        """Distinct shard (machine) ids an operation on ``ids`` contacts."""
+        return np.unique(self.store.owners(kind, np.asarray(ids, dtype=np.int64)))
+
     # ---------------------------------------------------------------- private
 
     def _meter(self, kind: str, ids: np.ndarray, machine: int) -> CommRecord:

@@ -13,6 +13,7 @@ tests assert exact communication/computation breakdowns.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 
@@ -28,7 +29,15 @@ class SimClock:
     by_category: dict[str, float] = field(default_factory=dict)
 
     def advance(self, seconds: float, category: str = "compute") -> None:
-        """Advance the clock by ``seconds`` attributed to ``category``."""
+        """Advance the clock by ``seconds`` attributed to ``category``.
+
+        ``seconds`` must be finite and non-negative: a single ``NaN`` or
+        ``inf`` (e.g. from a degenerate cost model) would otherwise poison
+        ``elapsed`` for the rest of the run and silently invalidate every
+        downstream time report.
+        """
+        if not math.isfinite(seconds):
+            raise ValueError(f"cannot advance clock by non-finite time: {seconds}")
         if seconds < 0:
             raise ValueError(f"cannot advance clock by negative time: {seconds}")
         self.elapsed += seconds

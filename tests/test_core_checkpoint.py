@@ -95,3 +95,102 @@ class TestSaveLoad:
         other.setup(small_split.train)
         with pytest.raises(ValueError, match="dim"):
             load_checkpoint(other, path)
+
+
+class TestAtomicity:
+    def test_save_leaves_no_temp_files(self, small_split, tmp_path):
+        """A successful save stages via a temp file but cleans it up."""
+        trainer = HETKGTrainer(quick_config())
+        trainer.train(small_split.train)
+        save_checkpoint(trainer, tmp_path / "ckpt.npz")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["ckpt.npz"]
+
+    def test_overwrite_is_atomic_replacement(self, small_split, tmp_path):
+        """Saving over an existing checkpoint swaps it wholesale.
+
+        Regression for the pre-atomic writer: a direct ``np.savez(path)``
+        truncates the destination first, so a crash mid-write destroyed the
+        previous checkpoint.  With staged writes the old archive stays
+        loadable until the rename, and the new one is complete afterwards.
+        """
+        trainer = HETKGTrainer(quick_config())
+        trainer.train(small_split.train)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(trainer, path)
+        for worker in trainer.workers:
+            worker.step()
+        save_checkpoint(trainer, path)  # overwrite in place
+        # The surviving archive is the *new* state and fully loadable.
+        entity_now = trainer.server.store.table("entity").copy()
+        load_checkpoint(trainer, path)
+        np.testing.assert_array_equal(
+            entity_now, trainer.server.store.table("entity")
+        )
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["ckpt.npz"]
+
+    def test_failed_save_preserves_previous_checkpoint(
+        self, small_split, tmp_path, monkeypatch
+    ):
+        trainer = HETKGTrainer(quick_config())
+        trainer.train(small_split.train)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(trainer, path)
+        before = path.read_bytes()
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez", boom)
+        with pytest.raises(OSError, match="disk full"):
+            save_checkpoint(trainer, path)
+        assert path.read_bytes() == before
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["ckpt.npz"]
+
+
+class TestAccumulatorValidation:
+    def test_accumulator_shape_mismatch_rejected_before_mutation(
+        self, small_split, tmp_path
+    ):
+        """A corrupt accumulator raises a clear error and mutates nothing."""
+        trainer = HETKGTrainer(quick_config())
+        trainer.train(small_split.train)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(trainer, path)
+
+        # Corrupt the archive: truncate the entity accumulator rows.
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["adagrad_entity"] = arrays["adagrad_entity"][:-3]
+        bad = tmp_path / "bad.npz"
+        with open(bad, "wb") as f:
+            np.savez(f, **arrays)
+
+        entity_before = trainer.server.store.table("entity").copy()
+        acc_before = trainer.server.optimizer._accumulators["entity"].copy()
+        with pytest.raises(ValueError, match="adagrad_entity.*shape"):
+            load_checkpoint(trainer, bad)
+        # Nothing was half-restored.
+        np.testing.assert_array_equal(
+            entity_before, trainer.server.store.table("entity")
+        )
+        np.testing.assert_array_equal(
+            acc_before, trainer.server.optimizer._accumulators["entity"]
+        )
+
+    def test_foreign_optimizer_warns_but_loads_tables(
+        self, small_split, tmp_path
+    ):
+        """Accumulators for a non-AdaGrad trainer warn instead of vanishing."""
+        trainer = HETKGTrainer(quick_config())
+        trainer.train(small_split.train)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(trainer, path)
+        entity_saved = trainer.server.store.table("entity").copy()
+
+        other = HETKGTrainer(quick_config(optimizer="sgd"))
+        other.setup(small_split.train)
+        with pytest.warns(RuntimeWarning, match="accumulator"):
+            load_checkpoint(other, path)
+        np.testing.assert_array_equal(
+            entity_saved, other.server.store.table("entity")
+        )

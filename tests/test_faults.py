@@ -1,0 +1,437 @@
+"""Tests for repro.faults: deterministic chaos, retry RPC, crash recovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import TrainingConfig
+from repro.core.telemetry import FaultEvent, Telemetry
+from repro.core.trainer import make_trainer
+from repro.faults import (
+    CheckpointManager,
+    CrashEvent,
+    DelayWindow,
+    DropWindow,
+    FaultInjector,
+    FaultPlan,
+    FaultyPSChannel,
+    OutageWindow,
+    RetryPolicy,
+    ShardRecovery,
+    StragglerWindow,
+)
+
+
+def _config(**overrides) -> TrainingConfig:
+    defaults = dict(
+        epochs=2,
+        dim=8,
+        batch_size=32,
+        num_negatives=4,
+        cache_capacity=128,
+        sync_period=4,
+        num_machines=2,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return TrainingConfig(**defaults)
+
+
+def _train(split, system="hetkg-d", telemetry=None, **train_kwargs):
+    trainer = make_trainer(system, _config())
+    result = trainer.train(split.train, telemetry=telemetry, **train_kwargs)
+    return trainer, result
+
+
+# ---------------------------------------------------------------------- plans
+
+
+class TestFaultPlan:
+    def test_zero_plan(self):
+        assert FaultPlan.none().is_zero
+        assert FaultPlan(drops=(DropWindow(0.0),)).is_zero
+        assert not FaultPlan.uniform_drop(0.1).is_zero
+        assert FaultPlan.uniform_drop(0.0).is_zero
+
+    def test_crash_and_outage_make_plan_nonzero(self):
+        assert not FaultPlan(crashes=(CrashEvent(0, 5),)).is_zero
+        assert not FaultPlan(outages=(OutageWindow(0, 1, 5),)).is_zero
+        assert not FaultPlan(stragglers=(StragglerWindow(0, 2.0),)).is_zero
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            DropWindow(0.1, start=5, stop=5)
+        with pytest.raises(ValueError, match="probability"):
+            DropWindow(1.5)
+        with pytest.raises(ValueError, match="slowdown"):
+            StragglerWindow(0, 0.5)
+        with pytest.raises(ValueError, match="crash iteration"):
+            CrashEvent(0, 0)
+
+    def test_duplicate_crash_rejected(self):
+        with pytest.raises(ValueError, match="duplicate crash"):
+            FaultPlan(crashes=(CrashEvent(1, 5), CrashEvent(1, 5)))
+
+    def test_window_applies(self):
+        w = DropWindow(0.5, start=10, stop=20, machines=(1,))
+        assert w.applies(1, 10)
+        assert w.applies(1, 19)
+        assert not w.applies(1, 20)
+        assert not w.applies(1, 9)
+        assert not w.applies(0, 15)
+
+    def test_retry_policy_backoff_caps(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0, max_backoff=0.3)
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(5) == pytest.approx(0.3)
+
+    def test_parse_full_grammar(self):
+        plan = FaultPlan.parse(
+            "seed=7,drop=0.2@10:200,delay=0.1x0.05@1:50,slow=w2x3.0@20:40,"
+            "crash=w1@25,ps-out=0@30:40,retries=6,restart-delay=2.5"
+        )
+        assert plan.seed == 7
+        assert plan.drops == (DropWindow(0.2, 10, 200),)
+        assert plan.delays == (DelayWindow(0.1, 0.05, 1, 50),)
+        assert plan.stragglers == (StragglerWindow(2, 3.0, 20, 40),)
+        assert plan.crashes == (CrashEvent(1, 25),)
+        assert plan.outages == (OutageWindow(0, 30, 40),)
+        assert plan.retry.max_attempts == 6
+        assert plan.restart_delay == 2.5
+
+    def test_parse_defaults_and_empty(self):
+        assert FaultPlan.parse("") == FaultPlan.none()
+        plan = FaultPlan.parse("drop=0.05")
+        assert plan.drops[0].start == 1 and plan.drops[0].stop is None
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("drop")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("explode=1.0")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("crash=w1")  # missing @iteration
+
+
+# ------------------------------------------------------------------- injector
+
+
+class TestFaultInjector:
+    def test_no_window_no_draw(self):
+        injector = FaultInjector(FaultPlan.none())
+        assert not injector.should_drop(0, 1)
+        # A zero plan must never materialise a stream.
+        assert injector._streams == {}
+
+    def test_deterministic_streams(self):
+        plan = FaultPlan.uniform_drop(0.5, seed=9)
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        draws_a = [a.should_drop(0, 1) for _ in range(50)]
+        draws_b = [b.should_drop(0, 1) for _ in range(50)]
+        assert draws_a == draws_b
+        assert any(draws_a) and not all(draws_a)
+
+    def test_per_machine_streams_independent(self):
+        plan = FaultPlan.uniform_drop(0.5, seed=9)
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        # Machine 1's draws must not depend on how many machine 0 made.
+        for _ in range(17):
+            a.should_drop(0, 1)
+        assert [a.should_drop(1, 1) for _ in range(20)] == [
+            b.should_drop(1, 1) for _ in range(20)
+        ]
+
+    def test_crash_fires_once(self):
+        injector = FaultInjector(FaultPlan(crashes=(CrashEvent(1, 5),)))
+        assert not injector.crash_due(1, 4)
+        assert injector.crash_due(1, 5)
+        assert not injector.crash_due(1, 5)
+        assert injector.stats.crashes == 1
+
+    def test_straggler_factor(self):
+        injector = FaultInjector(
+            FaultPlan(stragglers=(StragglerWindow(1, 3.0, 10, 20),))
+        )
+        assert injector.straggler_factor(1, 15) == 3.0
+        assert injector.straggler_factor(1, 25) == 1.0
+        assert injector.straggler_factor(0, 15) == 1.0
+
+    def test_ps_unavailable(self):
+        injector = FaultInjector(FaultPlan(outages=(OutageWindow(0, 5, 10),)))
+        assert injector.ps_unavailable([0, 1], 5)
+        assert not injector.ps_unavailable([1], 5)
+        assert not injector.ps_unavailable([0], 10)
+
+
+# ------------------------------------------------------------ channel (unit)
+
+
+@pytest.fixture
+def cluster(small_split):
+    """A set-up 2-machine trainer exposing its server for channel tests."""
+    trainer = make_trainer("hetkg-d", _config())
+    trainer.setup(small_split.train)
+    return trainer
+
+
+class TestFaultyPSChannel:
+    def _channel(self, cluster, plan, clock=None):
+        from repro.utils.simclock import SimClock
+
+        worker = cluster.workers[0]
+        return FaultyPSChannel(
+            cluster.server, worker.machine, FaultInjector(plan), clock or SimClock()
+        )
+
+    def test_transparent_when_no_faults(self, cluster):
+        from repro.utils.simclock import SimClock
+
+        clock = SimClock()
+        channel = self._channel(cluster, FaultPlan.none(), clock)
+        channel.iteration = 1
+        ids = np.array([0, 1, 2])
+        direct_rows, direct_comm = cluster.server.pull("entity", ids, 0)
+        rows, comm = channel.pull("entity", ids)
+        np.testing.assert_array_equal(rows, direct_rows)
+        assert comm == direct_comm
+        assert clock.elapsed == 0.0
+
+    def test_certain_drop_forces_pull_through(self, cluster):
+        from repro.utils.simclock import SimClock
+
+        clock = SimClock()
+        plan = FaultPlan(
+            drops=(DropWindow(1.0),), retry=RetryPolicy(max_attempts=3)
+        )
+        channel = self._channel(cluster, plan, clock)
+        channel.iteration = 1
+        rows, comm = channel.pull("entity", np.array([0, 1]))
+        assert rows is not None
+        assert channel.injector.stats.retries == 3
+        assert channel.injector.stats.forced_pulls == 1
+        assert comm.retransmit_bytes > 0
+        assert clock.category("communication") > 0.0
+
+    def test_try_pull_gives_up(self, cluster):
+        plan = FaultPlan(
+            drops=(DropWindow(1.0),), retry=RetryPolicy(max_attempts=2)
+        )
+        channel = self._channel(cluster, plan)
+        channel.iteration = 1
+        rows, comm = channel.try_pull("entity", np.array([0, 1]))
+        assert rows is None
+        assert comm.retransmit_bytes > 0
+        assert channel.injector.stats.stale_overruns == 1
+
+    def test_push_dropped_on_budget_exhaustion(self, cluster):
+        plan = FaultPlan(
+            drops=(DropWindow(1.0),), retry=RetryPolicy(max_attempts=2)
+        )
+        channel = self._channel(cluster, plan)
+        channel.iteration = 1
+        ids = np.array([0, 1])
+        before = cluster.server.store.read("entity", ids)
+        channel.push("entity", ids, np.ones((2, 8)))
+        np.testing.assert_array_equal(cluster.server.store.read("entity", ids), before)
+        assert channel.injector.stats.lost_pushes == 1
+
+    def test_outage_is_deterministic_per_attempt(self, cluster):
+        plan = FaultPlan(
+            outages=(OutageWindow(0, 1, 5),), retry=RetryPolicy(max_attempts=2)
+        )
+        channel = self._channel(cluster, plan)
+        channel.iteration = 1
+        ids = cluster.server.store.owned_ids("entity", 0)[:3]
+        rows, _ = channel.try_pull("entity", ids)
+        assert rows is None  # shard 0 down, budget exhausts deterministically
+        channel.iteration = 5  # window closed
+        rows, comm = channel.try_pull("entity", ids)
+        assert rows is not None
+        assert comm.retransmit_bytes == 0
+
+
+# --------------------------------------------------------- training invariant
+
+
+class TestNoOpInvariant:
+    def test_zero_plan_reproduces_injector_free_run(self, small_split):
+        _, plain = _train(small_split)
+        _, zero = _train(small_split, faults=FaultPlan.none())
+        assert zero.sim_time == plain.sim_time
+        assert zero.compute_time == plain.compute_time
+        assert zero.communication_time == plain.communication_time
+        assert zero.comm_totals == plain.comm_totals
+        assert [p.loss for p in zero.history.points] == [
+            p.loss for p in plain.history.points
+        ]
+
+    def test_zero_plan_dglke(self, small_split):
+        _, plain = _train(small_split, system="dglke")
+        _, zero = _train(small_split, system="dglke", faults=FaultPlan.none())
+        assert zero.sim_time == plain.sim_time
+        assert zero.comm_totals == plain.comm_totals
+
+    def test_fault_run_then_clean_run_uninstalls_channel(self, small_split):
+        trainer = make_trainer("hetkg-d", _config())
+        trainer.train(small_split.train, faults=FaultPlan.uniform_drop(0.2, seed=1))
+        assert trainer.workers[0]._fault_channel is not None
+        trainer.train(small_split.train)  # no faults: channel must come off
+        for worker in trainer.workers:
+            assert worker._fault_channel is None
+            assert worker.server is trainer.server
+
+
+class TestChaosDeterminism:
+    PLAN = FaultPlan(
+        seed=3,
+        drops=(DropWindow(0.1),),
+        crashes=(CrashEvent(1, 5),),
+        outages=(OutageWindow(0, 8, 11),),
+    )
+
+    def test_bit_identical_across_runs(self, small_split):
+        _, a = _train(small_split, faults=self.PLAN, checkpoint_every=4)
+        _, b = _train(small_split, faults=self.PLAN, checkpoint_every=4)
+        assert a.sim_time == b.sim_time
+        assert a.compute_time == b.compute_time
+        assert a.communication_time == b.communication_time
+        assert a.comm_totals == b.comm_totals
+        assert a.fault_stats == b.fault_stats
+        assert [p.loss for p in a.history.points] == [
+            p.loss for p in b.history.points
+        ]
+
+    def test_fault_overhead_is_visible_everywhere(self, small_split):
+        telemetry = Telemetry()
+        _, clean = _train(small_split)
+        _, chaotic = _train(
+            small_split, faults=self.PLAN, checkpoint_every=4, telemetry=telemetry
+        )
+        stats = chaotic.fault_stats
+        assert stats["retries"] >= 1
+        assert stats["recoveries"] == 1
+        assert stats["crashes"] == 1
+        # SimClock communication breakdown carries the retry waits.
+        assert chaotic.communication_time > clean.communication_time
+        assert chaotic.sim_time > clean.sim_time
+        # CommRecord totals carry the wasted attempts.
+        assert chaotic.comm_totals.retransmit_bytes > 0
+        assert chaotic.comm_totals.remote_bytes > clean.comm_totals.remote_bytes
+        # Telemetry carries the incident log.
+        summary = telemetry.fault_summary()
+        assert summary.get("retry", 0) >= 1
+        assert summary.get("crash_restart", 0) == 1
+        assert all(isinstance(e, FaultEvent) for e in telemetry.events)
+
+    def test_losses_stay_finite_under_chaos(self, small_split):
+        _, chaotic = _train(small_split, faults=self.PLAN, checkpoint_every=4)
+        assert all(np.isfinite(p.loss) for p in chaotic.history.points)
+
+
+# ------------------------------------------------------------- crash recovery
+
+
+class TestCrashRecovery:
+    def test_recovery_rewinds_only_the_dead_shard(self, small_split):
+        trainer = make_trainer("hetkg-d", _config())
+        trainer.setup(small_split.train)
+        checkpoints = CheckpointManager(trainer)
+        snap = checkpoints.snapshot(step=0)
+        store = trainer.server.store
+        # Mutate everything after the snapshot.
+        store.table("entity")[:] += 1.0
+        survivors_before = store.table("entity").copy()
+        recovery = ShardRecovery(trainer.server, checkpoints)
+        restored = recovery.restore(machine=1)
+        assert restored > 0
+        dead = store.owned_ids("entity", 1)
+        alive = store.owned_ids("entity", 0)
+        np.testing.assert_array_equal(
+            store.table("entity")[dead], snap.tables["entity"][dead]
+        )
+        np.testing.assert_array_equal(
+            store.table("entity")[alive], survivors_before[alive]
+        )
+
+    def test_restore_without_snapshot_is_harmless(self, small_split):
+        trainer = make_trainer("hetkg-d", _config())
+        trainer.setup(small_split.train)
+        checkpoints = CheckpointManager(trainer)
+        recovery = ShardRecovery(trainer.server, checkpoints)
+        before = trainer.server.store.table("entity").copy()
+        assert recovery.restore(machine=0) == 0
+        np.testing.assert_array_equal(trainer.server.store.table("entity"), before)
+
+    def test_crash_loses_and_rebuilds_cache(self, small_split):
+        plan = FaultPlan(crashes=(CrashEvent(1, 3),))
+        trainer, result = _train(small_split, faults=plan, checkpoint_every=2)
+        crashed = next(w for w in trainer.workers if w.machine == 1)
+        assert crashed.recoveries == 1
+        # The hot table was rebuilt after invalidation (non-empty again).
+        assert len(crashed.cache.cached_ids("entity")) > 0
+        # Recovery time landed on the crashed worker's clock.
+        assert crashed.clock.category("recovery") > 0.0
+        assert result.fault_stats["recovery_time"] > 0.0
+
+    def test_checkpoint_cadence(self, small_split):
+        trainer = make_trainer("hetkg-d", _config())
+        trainer.setup(small_split.train)
+        checkpoints = CheckpointManager(trainer, every=3)
+        fired = [step for step in range(1, 10) if checkpoints.maybe_snapshot(step)]
+        assert fired == [3, 6, 9]
+        assert checkpoints.saves == 3
+        with pytest.raises(ValueError, match="interval"):
+            CheckpointManager(trainer, every=0)
+
+
+# -------------------------------------------------------- graceful degradation
+
+
+class TestDegradedPS:
+    def test_outage_triggers_stale_overruns(self, small_split):
+        # Shards 0 and 1 both unavailable over a window longer than P, so
+        # periodic syncs must degrade and the overrun must be recorded.
+        plan = FaultPlan(
+            outages=(OutageWindow(0, 5, 12), OutageWindow(1, 5, 12)),
+            retry=RetryPolicy(max_attempts=2, timeout=0.01),
+        )
+        trainer, result = _train(small_split, faults=plan)
+        assert result.fault_stats["stale_overruns"] >= 1
+        overruns = [w.cache.staleness_overruns for w in trainer.workers]
+        assert sum(overruns) >= 1
+        worst = max(w.cache.max_staleness_overrun for w in trainer.workers)
+        assert worst >= 1
+
+    def test_outage_can_lose_pushes(self, small_split):
+        plan = FaultPlan(
+            outages=(OutageWindow(0, 3, 9), OutageWindow(1, 3, 9)),
+            retry=RetryPolicy(max_attempts=2, timeout=0.01),
+        )
+        _, result = _train(small_split, faults=plan)
+        assert result.fault_stats["lost_pushes"] >= 1
+        assert all(np.isfinite(p.loss) for p in result.history.points)
+
+
+# ------------------------------------------------------------------ telemetry
+
+
+class TestFaultTelemetry:
+    def test_event_log_and_export(self, tmp_path):
+        telemetry = Telemetry()
+        telemetry.add_event(FaultEvent(0, 3, "retry", 0.5, "entity attempt 1"))
+        telemetry.add_event(FaultEvent(1, 7, "crash_restart", 2.0))
+        assert telemetry.fault_summary() == {"retry": 1, "crash_restart": 1}
+        assert len(telemetry.events_of("retry")) == 1
+        out = tmp_path / "events.csv"
+        telemetry.export_events_csv(out)
+        lines = out.read_text().strip().splitlines()
+        assert lines[0] == "worker,iteration,kind,sim_time,detail"
+        assert len(lines) == 3
+
+    def test_fault_free_run_has_no_events(self, small_split):
+        telemetry = Telemetry()
+        _train(small_split, telemetry=telemetry)
+        assert telemetry.events == []
+        assert telemetry.fault_summary() == {}

@@ -32,6 +32,20 @@ class TestAdvance:
         clock.advance(0.0)
         assert clock.elapsed == 0.0
 
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), float("-inf")], ids=["nan", "inf", "-inf"]
+    )
+    def test_non_finite_rejected(self, bad):
+        # Regression: NaN/inf used to slip past the `< 0` guard (NaN compares
+        # False to everything) and poison `elapsed` for the rest of the run.
+        clock = SimClock()
+        clock.advance(1.0, "compute")
+        with pytest.raises(ValueError, match="non-finite"):
+            clock.advance(bad, "compute")
+        # The failed advance must not have touched any accumulator.
+        assert clock.elapsed == 1.0
+        assert clock.category("compute") == 1.0
+
 
 class TestFraction:
     def test_fraction(self):
