@@ -32,13 +32,27 @@ class HotSet:
         return len(self.entities) + len(self.relations)
 
 
+def _as_arrays(counts: dict[int, int]) -> tuple[np.ndarray, np.ndarray]:
+    """(ids, counts) column arrays of a count dict (insertion order)."""
+    n = len(counts)
+    ids = np.fromiter(counts.keys(), dtype=np.int64, count=n)
+    vals = np.fromiter(counts.values(), dtype=np.int64, count=n)
+    return ids, vals
+
+
 def _top_ids(counts: dict[int, int], k: int) -> np.ndarray:
     """Ids of the ``k`` highest counts, descending (ties broken by id for
-    determinism)."""
+    determinism).
+
+    Vectorized: one ``np.lexsort`` on ``(-count, id)`` keys replaces the
+    Python ``sorted(counts.items())`` pass, preserving the exact
+    deterministic tie-break order (lexsort's last key is primary).
+    """
     if k <= 0 or not counts:
         return np.empty(0, dtype=np.int64)
-    items = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
-    return np.asarray([i for i, _ in items[:k]], dtype=np.int64)
+    ids, vals = _as_arrays(counts)
+    order = np.lexsort((ids, -vals))
+    return ids[order[:k]]
 
 
 def filter_hot_ids(
@@ -62,15 +76,23 @@ def filter_hot_ids(
     """
     check_positive("capacity", capacity)
     if entity_ratio is None:
-        merged = [(c, 0, e) for e, c in entity_counts.items()]
-        merged += [(c, 1, r) for r, c in relation_counts.items()]
-        # Highest count first; deterministic tie-break on (kind, id).
-        merged.sort(key=lambda x: (-x[0], x[1], x[2]))
-        ents = [i for _, kind, i in merged[:capacity] if kind == 0]
-        rels = [i for _, kind, i in merged[:capacity] if kind == 1]
+        # Highest count first; deterministic tie-break on (kind, id) —
+        # one lexsort over the merged (count, kind, id) columns.
+        e_ids, e_vals = _as_arrays(entity_counts)
+        r_ids, r_vals = _as_arrays(relation_counts)
+        ids = np.concatenate([e_ids, r_ids])
+        vals = np.concatenate([e_vals, r_vals])
+        kinds = np.concatenate(
+            [
+                np.zeros(len(e_ids), dtype=np.int64),
+                np.ones(len(r_ids), dtype=np.int64),
+            ]
+        )
+        top = np.lexsort((ids, kinds, -vals))[:capacity]
+        top_kinds = kinds[top]
         return HotSet(
-            entities=np.asarray(ents, dtype=np.int64),
-            relations=np.asarray(rels, dtype=np.int64),
+            entities=ids[top[top_kinds == 0]],
+            relations=ids[top[top_kinds == 1]],
         )
 
     check_fraction("entity_ratio", entity_ratio)

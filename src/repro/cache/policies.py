@@ -16,6 +16,7 @@ provided by :func:`hotness_window_hit_ratio`.
 
 from __future__ import annotations
 
+import heapq
 from abc import ABC, abstractmethod
 from collections import Counter, OrderedDict
 from typing import Iterable, Sequence
@@ -99,22 +100,52 @@ class LRUCache(EvictionPolicy):
 
 
 class LFUCache(EvictionPolicy):
-    """Evict the least frequently used key (ties: least recent)."""
+    """Evict the least frequently used key (ties: least recent).
+
+    Counts are *historical*: a key evicted and later re-admitted returns
+    with its accumulated access count, exactly as the reference
+    ``min(members, key=counts)`` implementation behaved.  Eviction is
+    O(log n) instead of an O(capacity) scan per miss: members live in
+    per-count buckets ordered by last access, and a lazy min-heap of
+    occupied counts finds the coldest bucket.  The victim — the earliest
+    last-accessed key among the minimum-count members — is identical to
+    the scan-based reference (``tests/test_perf_equivalence.py`` checks
+    trace-for-trace agreement).
+    """
 
     def __init__(self, capacity: int) -> None:
         super().__init__(capacity)
         self._counts: Counter[int] = Counter()
-        self._members: OrderedDict[int, None] = OrderedDict()
+        #: count -> members at that count, ascending last-access order.
+        self._buckets: dict[int, OrderedDict[int, None]] = {}
+        self._count_heap: list[int] = []
+        self._members: set[int] = set()
+
+    def _bucket_add(self, key: int, count: int) -> None:
+        bucket = self._buckets.get(count)
+        if bucket is None:
+            bucket = self._buckets[count] = OrderedDict()
+        if not bucket:
+            heapq.heappush(self._count_heap, count)
+        bucket[key] = None
 
     def _access(self, key: int) -> bool:
         self._counts[key] += 1
+        count = self._counts[key]
         if key in self._members:
-            self._members.move_to_end(key)
+            del self._buckets[count - 1][key]
+            self._bucket_add(key, count)
             return True
         if len(self._members) >= self.capacity:
-            victim = min(self._members, key=lambda k: (self._counts[k], 0))
-            del self._members[victim]
-        self._members[key] = None
+            while True:
+                coldest = self._buckets.get(self._count_heap[0])
+                if coldest:
+                    break
+                heapq.heappop(self._count_heap)  # stale: bucket drained
+            victim, _ = coldest.popitem(last=False)
+            self._members.discard(victim)
+        self._members.add(key)
+        self._bucket_add(key, count)
         return False
 
     def __len__(self) -> int:
@@ -326,6 +357,5 @@ def hotness_window_hit_ratio(
             continue
         ids, counts = np.unique(flat, return_counts=True)
         order = np.lexsort((ids, -counts))
-        cached = set(ids[order[:capacity]].tolist())
-        hits += sum(1 for key in flat.tolist() if key in cached)
+        hits += int(np.isin(flat, ids[order[:capacity]]).sum())
     return hits / total if total else 0.0

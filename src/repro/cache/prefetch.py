@@ -49,7 +49,13 @@ def _count_batch(
     entity_counts: dict[int, int],
     relation_counts: dict[int, int],
 ) -> None:
-    """Record each embedding access one batch makes (line 7-8 of Alg. 1)."""
+    """Per-batch reference counter (line 7-8 of Alg. 1).
+
+    Kept as the readable single-batch oracle: :func:`prefetch` now folds
+    all batches of a window through one vectorized count
+    (:func:`_fold_counts`), which must agree with applying this function
+    batch by batch (see ``tests/test_perf_equivalence.py``).
+    """
     touched_entities = np.concatenate(
         [
             batch.positives[:, HEAD],
@@ -67,6 +73,34 @@ def _count_batch(
         relation_counts[r] = relation_counts.get(r, 0) + c * weight
 
 
+def _fold_counts(
+    chunks: list[np.ndarray], weights: list[int] | None = None
+) -> dict[int, int]:
+    """Vectorized id -> access-count fold over many id chunks.
+
+    One concatenate + one ``np.unique``/``np.bincount`` pass replaces the
+    per-batch Python dict merge.  ``weights`` (one int per chunk) scales
+    every occurrence of a chunk — used for relations, where each negative
+    reuses its positive's relation embedding.
+    """
+    if not chunks:
+        return {}
+    ids = np.concatenate(chunks)
+    if len(ids) == 0:
+        return {}
+    if weights is None:
+        uniq, counts = np.unique(ids, return_counts=True)
+    else:
+        per_element = np.concatenate(
+            [np.full(len(c), w, dtype=np.int64) for c, w in zip(chunks, weights)]
+        )
+        uniq, inverse = np.unique(ids, return_inverse=True)
+        counts = np.bincount(
+            inverse, weights=per_element, minlength=len(uniq)
+        ).astype(np.int64)
+    return dict(zip(uniq.tolist(), counts.tolist()))
+
+
 def prefetch(sampler: EpochSampler, iterations: int) -> PrefetchResult:
     """Run Algorithm 1: prefetch ``iterations`` batches and count accesses.
 
@@ -78,7 +112,17 @@ def prefetch(sampler: EpochSampler, iterations: int) -> PrefetchResult:
         The prefetch window ``D`` (CPS passes a full epoch's batch count).
     """
     batches = sampler.prefetch(iterations)
-    result = PrefetchResult(batches=batches)
+    ent_chunks: list[np.ndarray] = []
+    rel_chunks: list[np.ndarray] = []
+    rel_weights: list[int] = []
     for batch in batches:
-        _count_batch(batch, result.entity_counts, result.relation_counts)
-    return result
+        ent_chunks.append(batch.positives[:, HEAD])
+        ent_chunks.append(batch.positives[:, TAIL])
+        ent_chunks.append(batch.neg_entities.ravel())
+        rel_chunks.append(batch.positives[:, REL])
+        rel_weights.append(1 + batch.num_negatives)
+    return PrefetchResult(
+        batches=batches,
+        entity_counts=_fold_counts(ent_chunks),
+        relation_counts=_fold_counts(rel_chunks, rel_weights),
+    )

@@ -108,9 +108,11 @@ class HotEmbeddingCache:
                 ids = np.asarray(ids, dtype=np.int64)[: table.capacity]
                 rows = np.zeros((len(ids), table.width))
                 if len(ids):
-                    retained = table.membership_mask(ids)
+                    # One vectorized membership + slot pass resolves both
+                    # the retained mask and where to copy retained rows from.
+                    retained, slots = table.lookup(ids)
                     if retained.any():
-                        rows[retained] = table.get(ids[retained])
+                        rows[retained] = table.rows_view()[slots[retained]]
                     fresh_ids = ids[~retained]
                     if len(fresh_ids):
                         pulled, c = self.server.pull(kind, fresh_ids, self.machine)
@@ -161,21 +163,29 @@ class HotEmbeddingCache:
         self, kind: str, ids: np.ndarray, grads: np.ndarray
     ) -> None:
         """Apply the worker's own gradients to cached rows (non-cached ids
-        are ignored; the PS push covers them)."""
+        are ignored; the PS push covers them).
+
+        Uses :meth:`CacheTable.lookup`, so when ``ids`` is the same array
+        the step's fetch already partitioned (the worker passes the batch's
+        unique-id array through unchanged), the membership scan is answered
+        from the table's memo instead of being repeated.
+        """
         table = self._tables[kind]
         ids = np.asarray(ids, dtype=np.int64)
-        mask = table.membership_mask(ids)
+        mask, all_slots = table.lookup(ids)
         if not mask.any():
             return
-        slots = table.slot_of(ids[mask])
+        slots = all_slots[mask]
         # rows_view() hands out the whole backing array; the occupied-prefix
         # invariant guarantees live slots never index the zeroed tail.
         assert int(slots.max()) < table.occupied, (
             f"slot {int(slots.max())} outside live membership "
             f"({table.occupied} rows)"
         )
+        # ``ids`` is the batch's sorted-unique id array, so the surviving
+        # slots are distinct by construction — skip the coalescing scan.
         self._local_optimizers[kind].update(
-            kind, table.rows_view(), slots, grads[mask]
+            kind, table.rows_view(), slots, grads[mask], assume_unique=True
         )
 
     # ------------------------------------------------------------------ sync

@@ -2,8 +2,24 @@
 
 One table caches one kind of embedding (entities or relations) at one
 worker.  Membership is decided externally (by the CPS/DPS strategies); the
-table provides O(1) id lookup, bulk hit/miss partitioning, in-place row
-updates, and hit-ratio accounting.
+table provides vectorized id lookup, bulk hit/miss partitioning, in-place
+row updates, and hit-ratio accounting.
+
+Implementation note (the determinism contract)
+----------------------------------------------
+Membership is a *sorted* id array plus a slot permutation, so every lookup
+(``membership_mask`` / ``slot_of`` / ``partition_hits``) is one
+``np.searchsorted`` gather instead of a Python dict loop.  Slot assignment
+is pinned: ``install(ids, rows)`` stores ``ids[i]`` at slot ``i`` exactly
+as the dict-based implementation did, so ``rows_view()`` layouts, optimizer
+state addressing, and the :attr:`ids` order are bit-compatible with the
+pre-vectorization code (see ``docs/performance.md``).
+
+Because one worker step asks the same id batch several times (hit
+partitioning on fetch, membership + slots on the gradient write-back), the
+table memoises the most recent lookup: repeated queries for the same id
+array are answered from the memo without rescanning (the memo is
+invalidated whenever membership changes).
 """
 
 from __future__ import annotations
@@ -13,6 +29,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.utils.validation import check_positive
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
 
 
 @dataclass
@@ -59,21 +77,29 @@ class CacheTable:
         self.capacity = capacity
         self.width = width
         self._rows = np.zeros((capacity, width), dtype=np.float64)
-        self._slot_of: dict[int, int] = {}
+        #: Install-order ids; ``_ids[i]`` lives at slot ``i``.
+        self._ids: np.ndarray = _EMPTY_IDS
+        #: ``_ids`` sorted ascending, plus the slot of each sorted id.
+        self._sorted_ids: np.ndarray = _EMPTY_IDS
+        self._sorted_slots: np.ndarray = _EMPTY_IDS
+        #: One-entry lookup memo: (query ids, mask, slots).
+        self._memo: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
         self.stats = CacheStats()
 
     # ------------------------------------------------------------- membership
 
     def __len__(self) -> int:
-        return len(self._slot_of)
+        return len(self._ids)
 
     def __contains__(self, item: int) -> bool:
-        return int(item) in self._slot_of
+        item = int(item)
+        pos = int(np.searchsorted(self._sorted_ids, item))
+        return pos < len(self._sorted_ids) and int(self._sorted_ids[pos]) == item
 
     @property
     def ids(self) -> np.ndarray:
-        """Currently cached ids (unordered)."""
-        return np.fromiter(self._slot_of.keys(), dtype=np.int64, count=len(self._slot_of))
+        """Currently cached ids, in slot (install) order."""
+        return self._ids.copy()
 
     def install(self, ids: np.ndarray, rows: np.ndarray) -> None:
         """Replace the entire membership with ``ids`` -> ``rows``.
@@ -89,10 +115,15 @@ class CacheTable:
             )
         if len(ids) != len(rows):
             raise ValueError(f"{len(ids)} ids but {len(rows)} rows")
-        if len(np.unique(ids)) != len(ids):
+        order = np.argsort(ids, kind="stable")
+        sorted_ids = ids[order]
+        if len(ids) > 1 and bool((sorted_ids[1:] == sorted_ids[:-1]).any()):
             raise ValueError("install ids must be unique")
-        previous = len(self._slot_of)
-        self._slot_of = {int(e): i for i, e in enumerate(ids)}
+        previous = len(self._ids)
+        self._ids = ids.copy()
+        self._sorted_ids = sorted_ids
+        self._sorted_slots = order
+        self._memo = None
         self._rows[: len(ids)] = rows
         if len(ids) < previous:
             # Zero the tail on shrink: rows_view() hands the backing array
@@ -102,12 +133,31 @@ class CacheTable:
 
     # ------------------------------------------------------------------ reads
 
+    def lookup(self, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized membership + slot resolution in one pass.
+
+        Returns ``(mask, slots)`` where ``mask[i]`` says whether ``ids[i]``
+        is cached and ``slots[i]`` is its slot (``-1`` for misses).  The
+        most recent query is memoised, so a fetch's hit partitioning and
+        the subsequent gradient write-back for the *same* id batch cost a
+        single membership scan per step.  Treat both arrays as read-only.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        memo = self._memo
+        if memo is not None:
+            memo_ids, mask, slots = memo
+            if memo_ids is ids or (
+                len(memo_ids) == len(ids) and np.array_equal(memo_ids, ids)
+            ):
+                return mask, slots
+        mask, slots = self._lookup(ids)
+        self._memo = (ids, mask, slots)
+        return mask, slots
+
     def membership_mask(self, ids: np.ndarray) -> np.ndarray:
         """Boolean mask of which ``ids`` are currently cached (no stats)."""
-        ids = np.asarray(ids, dtype=np.int64)
-        return np.fromiter(
-            (int(e) in self._slot_of for e in ids), dtype=bool, count=len(ids)
-        )
+        mask, _ = self.lookup(ids)
+        return mask
 
     def partition_hits(
         self, ids: np.ndarray
@@ -118,7 +168,7 @@ class CacheTable:
         accesses are metered.
         """
         ids = np.asarray(ids, dtype=np.int64)
-        mask = self.membership_mask(ids)
+        mask, _ = self.lookup(ids)
         hits = int(mask.sum())
         self.stats.hits += hits
         self.stats.misses += int(len(ids) - hits)
@@ -148,7 +198,7 @@ class CacheTable:
         ``rows_view()`` consumers must only touch slots ``< occupied``;
         everything beyond is zeroed padding.
         """
-        return len(self._slot_of)
+        return len(self._ids)
 
     def rows_view(self) -> np.ndarray:
         """The live backing array (first :attr:`occupied` rows are valid)."""
@@ -160,11 +210,24 @@ class CacheTable:
 
     # ---------------------------------------------------------------- private
 
+    def _lookup(self, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Uncached searchsorted membership + slot gather."""
+        n = len(self._sorted_ids)
+        if n == 0 or len(ids) == 0:
+            return (
+                np.zeros(len(ids), dtype=bool),
+                np.full(len(ids), -1, dtype=np.int64),
+            )
+        pos = np.searchsorted(self._sorted_ids, ids)
+        pos = np.minimum(pos, n - 1)
+        mask = self._sorted_ids[pos] == ids
+        slots = np.where(mask, self._sorted_slots[pos], -1)
+        return mask, slots
+
     def _slots(self, ids: np.ndarray) -> np.ndarray:
         ids = np.asarray(ids, dtype=np.int64)
-        try:
-            return np.fromiter(
-                (self._slot_of[int(e)] for e in ids), dtype=np.int64, count=len(ids)
-            )
-        except KeyError as exc:
-            raise KeyError(f"id {exc.args[0]} is not cached") from None
+        mask, slots = self.lookup(ids)
+        if not mask.all():
+            missing = int(ids[np.argmin(mask)])
+            raise KeyError(f"id {missing} is not cached")
+        return slots

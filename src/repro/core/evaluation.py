@@ -110,6 +110,37 @@ class FilterIndex:
         return self._tails.get((h, r), self._empty)
 
 
+def _full_ranks_reference(
+    model: KGEModel,
+    entity_table: np.ndarray,
+    relation_table: np.ndarray,
+    triples: np.ndarray,
+    replace_head: bool,
+    filter_index: "FilterIndex | None",
+) -> list[int]:
+    """Per-query full-candidate ranks — the equivalence oracle.
+
+    This is the pre-vectorization implementation, kept verbatim (one
+    ``_rank_one_side`` call per query) so the batched production kernels
+    can be checked against it bit for bit.
+    """
+    candidates = np.arange(len(entity_table))
+    return [
+        _rank_one_side(
+            model,
+            entity_table,
+            relation_table,
+            int(h),
+            int(r),
+            int(t),
+            replace_head,
+            candidates,
+            filter_index,
+        )
+        for h, r, t in triples
+    ]
+
+
 def _ranks_batched(
     model: KGEModel,
     entity_table: np.ndarray,
@@ -122,13 +153,9 @@ def _ranks_batched(
     """Full-candidate ranks for one corruption side, many queries at once.
 
     Scores ``(queries x all entities)`` through the model in flat blocks of
-    at most ``block_rows`` rows, avoiding the per-query Python loop.
-
-    Measured caveat: the reference path already vectorises each query over
-    all entities using zero-copy broadcast views, so on typical sizes this
-    block path is *not* faster (it materialises fancy-indexed row copies).
-    It exists as an independently-implemented oracle for equivalence
-    testing and for models whose ``score`` has high per-call overhead.
+    at most ``block_rows`` rows, avoiding the per-query Python loop.  Ranks
+    are bit-identical to :func:`_full_ranks_reference` (scores are the same
+    per-row arithmetic, only the batching differs).
     """
     n_ent = len(entity_table)
     ranks: list[int] = []
@@ -167,6 +194,112 @@ def _ranks_batched(
     return ranks
 
 
+def _ranks_sampled_batched(
+    model: KGEModel,
+    entity_table: np.ndarray,
+    relation_table: np.ndarray,
+    triples: np.ndarray,
+    num_candidates: int,
+    filter_index: "FilterIndex | None",
+    rng: np.random.Generator,
+    block_rows: int = 200_000,
+) -> tuple[list[int], list[int]]:
+    """Sampled-candidate ranks for both sides, scored in blocks.
+
+    The reference path draws one candidate sample per (query, side) pair
+    interleaved — head then tail per triple — and that draw order is part
+    of the determinism contract.  This kernel therefore keeps *exactly*
+    the reference's RNG consumption (same per-query ``rng.choice`` calls,
+    same order) in a cheap first pass, then batches all model scoring:
+    candidate rows are padded to a rectangle with each query's true entity
+    (pads fall inside the true-entity mask, so they never affect ranks)
+    and scored in flat blocks of at most ``block_rows`` rows.
+
+    Ranks are bit-identical to the per-query reference: per-row score
+    arithmetic is unchanged, filtering applies the same ``-inf`` masking,
+    and the strictly-greater count ignores every true-entity copy.
+    """
+    num_entities = len(entity_table)
+    per_side: dict[bool, list[np.ndarray]] = {True: [], False: []}
+    for h, _, t in triples:
+        for replace_head in (True, False):
+            true_entity = int(h) if replace_head else int(t)
+            sampled = rng.choice(num_entities, size=num_candidates, replace=False)
+            per_side[replace_head].append(
+                np.unique(np.append(sampled, true_entity))
+            )
+    # True-triple scores for every query, one batched call (the reference
+    # scores the same (h, r, t) rows one at a time).
+    true_scores = model.score(
+        entity_table[triples[:, 0]],
+        relation_table[triples[:, 1]],
+        entity_table[triples[:, 2]],
+    )
+    head_ranks = _score_padded_candidates(
+        model, entity_table, relation_table, triples, per_side[True],
+        True, filter_index, true_scores, block_rows,
+    )
+    tail_ranks = _score_padded_candidates(
+        model, entity_table, relation_table, triples, per_side[False],
+        False, filter_index, true_scores, block_rows,
+    )
+    return head_ranks, tail_ranks
+
+
+def _score_padded_candidates(
+    model: KGEModel,
+    entity_table: np.ndarray,
+    relation_table: np.ndarray,
+    triples: np.ndarray,
+    cand_lists: list[np.ndarray],
+    replace_head: bool,
+    filter_index: "FilterIndex | None",
+    true_scores: np.ndarray,
+    block_rows: int,
+) -> list[int]:
+    """Rank one corruption side from per-query candidate id lists."""
+    q_total = len(triples)
+    width = max(len(c) for c in cand_lists)
+    true_entities = triples[:, 0] if replace_head else triples[:, 2]
+    cand = np.empty((q_total, width), dtype=np.int64)
+    for i, c in enumerate(cand_lists):
+        cand[i, : len(c)] = c
+        cand[i, len(c):] = true_entities[i]  # pads; masked by the true rule
+    ranks: list[int] = []
+    queries_per_block = max(1, block_rows // width)
+    for start in range(0, q_total, queries_per_block):
+        stop = min(start + queries_per_block, q_total)
+        chunk = cand[start:stop]
+        q = stop - start
+        rep = np.repeat(np.arange(start, stop), width)
+        flat = chunk.ravel()
+        if replace_head:
+            h_rows = entity_table[flat]
+            t_rows = entity_table[triples[rep, 2]]
+        else:
+            h_rows = entity_table[triples[rep, 0]]
+            t_rows = entity_table[flat]
+        r_rows = relation_table[triples[rep, 1]]
+        scores = model.score(h_rows, r_rows, t_rows).reshape(q, width)
+        block_true = true_scores[start:stop]
+        not_true = chunk != true_entities[start:stop, None]
+        if filter_index is not None:
+            for i in range(q):
+                gi = start + i
+                known = filter_index.known_entities(
+                    int(triples[gi, 0]),
+                    int(triples[gi, 1]),
+                    int(triples[gi, 2]),
+                    replace_head,
+                )
+                if len(known):
+                    drop = np.isin(chunk[i], known) & not_true[i]
+                    scores[i, drop] = -np.inf
+        better = ((scores > block_true[:, None]) & not_true).sum(axis=1)
+        ranks.extend((1 + better).tolist())
+    return ranks
+
+
 def evaluate_link_prediction(
     model: KGEModel,
     entity_table: np.ndarray,
@@ -177,7 +310,7 @@ def evaluate_link_prediction(
     max_queries: int | None = None,
     num_candidates: int | None = None,
     seed: int | np.random.Generator | None = None,
-    batched: bool = False,
+    batched: bool = True,
 ) -> LinkPredictionResult:
     """Evaluate embeddings on ``test`` with head and tail corruption.
 
@@ -194,9 +327,10 @@ def evaluate_link_prediction(
         Sample this many negative candidate entities per query instead of
         ranking against all entities (plus the true one).
     batched:
-        Use the block full-ranking path when ranking against all entities
-        (results are identical to the reference; mainly useful as a
-        cross-check — see :func:`_ranks_batched`).
+        Use the vectorized block-scoring kernels (the default).  Results
+        are bit-identical to the per-query reference implementation
+        (``batched=False``), which is kept as the equivalence oracle —
+        see :func:`_full_ranks_reference` / :func:`_ranks_sampled_batched`.
     """
     rng = make_rng(seed)
     triples = test.triples
@@ -207,13 +341,24 @@ def evaluate_link_prediction(
 
     num_entities = len(entity_table)
     full_ranking = num_candidates is None or num_candidates >= num_entities
-    if batched and full_ranking and len(triples):
-        head_ranks = _ranks_batched(
-            model, entity_table, relation_table, triples, True, filter_index
-        )
-        tail_ranks = _ranks_batched(
-            model, entity_table, relation_table, triples, False, filter_index
-        )
+    if batched and len(triples):
+        if full_ranking:
+            head_ranks = _ranks_batched(
+                model, entity_table, relation_table, triples, True, filter_index
+            )
+            tail_ranks = _ranks_batched(
+                model, entity_table, relation_table, triples, False, filter_index
+            )
+        else:
+            head_ranks, tail_ranks = _ranks_sampled_batched(
+                model,
+                entity_table,
+                relation_table,
+                triples,
+                num_candidates,
+                filter_index,
+                rng,
+            )
         return _aggregate(head_ranks, tail_ranks, hits_at)
 
     head_ranks: list[int] = []

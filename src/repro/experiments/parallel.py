@@ -1,0 +1,96 @@
+"""Parallel experiment execution over process pools.
+
+Every simulated run is single-threaded, CPU-bound, and fully determined by
+its seeds, so independent runs (sweep points, separate experiments) scale
+across cores with no coordination.  This module provides the one primitive
+the CLI's ``--jobs N`` flag builds on:
+
+:func:`parallel_map`
+    An **order-preserving** map over a picklable task list.  Results come
+    back indexed by submission position, never by completion time, so the
+    output of ``jobs=N`` is element-for-element identical to ``jobs=1``.
+
+Determinism contract
+--------------------
+``jobs=1`` executes the *same task function inline* (no pool, no pickling)
+that the workers run, and each task is hermetic — it seeds its own RNGs
+and shares no mutable state with its siblings.  Therefore a parallel sweep
+report is byte-identical to the serial one; only wall-clock time differs.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_jobs() -> int:
+    """A sensible ``--jobs`` auto value: one worker per available core."""
+    return max(1, os.cpu_count() or 1)
+
+
+def parallel_map(
+    fn: Callable[[T], R], items: Iterable[T], jobs: int = 1
+) -> list[R]:
+    """Map ``fn`` over ``items``, preserving input order in the result.
+
+    Parameters
+    ----------
+    fn:
+        A module-level (picklable) function of one argument.
+    items:
+        Task inputs; each must be picklable when ``jobs > 1``.
+    jobs:
+        Worker process count.  ``jobs <= 1`` runs everything inline in
+        this process — same function, same order, no pool overhead.
+
+    Any task exception propagates to the caller (remaining futures are
+    abandoned when the pool shuts down).
+    """
+    tasks: Sequence[T] = list(items)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    results: list[Any] = [None] * len(tasks)
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        futures = [pool.submit(fn, task) for task in tasks]
+        for index, future in enumerate(futures):
+            results[index] = future.result()
+    return results
+
+
+# ------------------------------------------------------------ experiment map
+
+
+def _run_named_experiment(task: tuple[str, dict[str, Any]]):
+    """Worker body for :func:`run_experiments` (module-level: picklable)."""
+    from repro.experiments.registry import get_experiment
+
+    name, kwargs = task
+    return name, get_experiment(name)(**kwargs)
+
+
+def run_experiments(
+    names: Sequence[str],
+    jobs: int = 1,
+    kwargs_per_name: Sequence[dict[str, Any]] | None = None,
+) -> list[tuple[str, Any]]:
+    """Run several registered experiments, optionally across processes.
+
+    ``kwargs_per_name`` aligns with ``names`` (the CLI pre-filters each
+    runner's accepted overrides).  Returns ``(name, ExperimentResult)``
+    pairs in the order of ``names`` regardless of completion order.
+    """
+    if kwargs_per_name is None:
+        kwargs_per_name = [{} for _ in names]
+    if len(kwargs_per_name) != len(names):
+        raise ValueError(
+            f"kwargs_per_name has {len(kwargs_per_name)} entries "
+            f"for {len(names)} experiments"
+        )
+    return parallel_map(
+        _run_named_experiment, list(zip(names, kwargs_per_name)), jobs=jobs
+    )

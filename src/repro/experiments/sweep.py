@@ -14,6 +14,7 @@ from typing import Any, Sequence
 
 from repro.core.config import TrainingConfig
 from repro.core.trainer import make_trainer
+from repro.experiments.parallel import parallel_map
 from repro.kg.splits import Split
 from repro.utils.tables import format_table
 
@@ -44,6 +45,43 @@ class SweepResult:
         return format_table(headers, rows, title="sweep results", precision=precision)
 
 
+def _sweep_point(task: tuple) -> dict[str, Any]:
+    """Train one grid point and summarise its outcome.
+
+    Module-level so :func:`~repro.experiments.parallel.parallel_map` can
+    ship it to worker processes; with ``jobs=1`` it runs inline, so the
+    serial and parallel paths execute the exact same code.
+    """
+    (
+        system,
+        config,
+        split,
+        overrides,
+        filter_set,
+        eval_max_queries,
+        eval_candidates,
+    ) = task
+    trainer = make_trainer(system, config.with_overrides(**overrides))
+    outcome = trainer.train(
+        split.train,
+        eval_graph=split.test,
+        filter_set=filter_set,
+        eval_max_queries=eval_max_queries,
+        eval_candidates=eval_candidates,
+    )
+    record: dict[str, Any] = dict(overrides)
+    record.update(
+        {
+            "mrr": outcome.final_metrics.get("mrr", 0.0),
+            "hits@10": outcome.final_metrics.get("hits@10", 0.0),
+            "sim_time": outcome.sim_time,
+            "communication_time": outcome.communication_time,
+            "cache_hit_ratio": outcome.cache_hit_ratio,
+        }
+    )
+    return record
+
+
 def run_sweep(
     system: str,
     config: TrainingConfig,
@@ -52,6 +90,7 @@ def run_sweep(
     filter_set: set[tuple[int, int, int]] | None = None,
     eval_max_queries: int = 150,
     eval_candidates: int | None = 500,
+    jobs: int = 1,
 ) -> SweepResult:
     """Train ``system`` once per point of the cartesian ``grid``.
 
@@ -60,6 +99,10 @@ def run_sweep(
     grid:
         Mapping of ``TrainingConfig`` field name -> values to try.  The
         sweep runs the full cartesian product, in deterministic order.
+    jobs:
+        Worker processes.  Every grid point is an independent seeded run,
+        so ``jobs > 1`` fans them out across cores; records come back in
+        grid order either way and are identical to the serial sweep.
     """
     if not grid:
         raise ValueError("grid must name at least one parameter")
@@ -70,26 +113,19 @@ def run_sweep(
             raise ValueError(f"no values given for parameter {name!r}")
 
     parameters = list(grid)
-    result = SweepResult(parameters=parameters)
-    for combo in itertools.product(*(grid[name] for name in parameters)):
-        overrides = dict(zip(parameters, combo))
-        trainer = make_trainer(system, config.with_overrides(**overrides))
-        outcome = trainer.train(
-            split.train,
-            eval_graph=split.test,
-            filter_set=filter_set,
-            eval_max_queries=eval_max_queries,
-            eval_candidates=eval_candidates,
+    tasks = [
+        (
+            system,
+            config,
+            split,
+            dict(zip(parameters, combo)),
+            filter_set,
+            eval_max_queries,
+            eval_candidates,
         )
-        record: dict[str, Any] = dict(overrides)
-        record.update(
-            {
-                "mrr": outcome.final_metrics.get("mrr", 0.0),
-                "hits@10": outcome.final_metrics.get("hits@10", 0.0),
-                "sim_time": outcome.sim_time,
-                "communication_time": outcome.communication_time,
-                "cache_hit_ratio": outcome.cache_hit_ratio,
-            }
-        )
-        result.records.append(record)
-    return result
+        for combo in itertools.product(*(grid[name] for name in parameters))
+    ]
+    return SweepResult(
+        parameters=parameters,
+        records=parallel_map(_sweep_point, tasks, jobs=jobs),
+    )

@@ -16,6 +16,91 @@ import numpy as np
 HEAD, REL, TAIL = 0, 1, 2
 
 
+class TripleIndex:
+    """Vectorized membership index over a fixed triple set.
+
+    Encodes every ``(h, r, t)`` as a single int64 key
+    ``(h * num_relations + r) * num_entities + t`` held in a sorted array,
+    so a batch of membership queries is one ``np.searchsorted`` probe
+    instead of ``b * n`` Python set lookups.  When the vocabulary is large
+    enough that the key space would overflow int64 (``E * R * E >= 2**63``)
+    the index degrades to set-backed scalar checks — same answers, no
+    speedup.
+    """
+
+    def __init__(
+        self,
+        triples: np.ndarray,
+        num_entities: int,
+        num_relations: int,
+    ) -> None:
+        self.num_entities = int(num_entities)
+        self.num_relations = int(num_relations)
+        triples = np.asarray(triples, dtype=np.int64).reshape(-1, 3)
+        # Overflow guard evaluated in Python ints (arbitrary precision).
+        self._vectorized = (
+            self.num_entities > 0
+            and self.num_relations > 0
+            and self.num_entities * self.num_relations * self.num_entities
+            < 2**63
+        )
+        if self._vectorized:
+            if len(triples):
+                self._keys = np.unique(
+                    self._encode(
+                        triples[:, HEAD], triples[:, REL], triples[:, TAIL]
+                    )
+                )
+            else:
+                self._keys = np.empty(0, dtype=np.int64)
+            self._set: set[tuple[int, int, int]] | None = None
+        else:
+            self._keys = None
+            self._set = {(int(h), int(r), int(t)) for h, r, t in triples}
+
+    def __len__(self) -> int:
+        if self._vectorized:
+            return len(self._keys)
+        return len(self._set)
+
+    def _encode(self, h: np.ndarray, r: np.ndarray, t: np.ndarray) -> np.ndarray:
+        return (h * self.num_relations + r) * self.num_entities + t
+
+    def contains_batch(
+        self, heads: np.ndarray, rels: np.ndarray, tails: np.ndarray
+    ) -> np.ndarray:
+        """Boolean mask: which ``(heads[i], rels[i], tails[i])`` are indexed."""
+        heads = np.asarray(heads, dtype=np.int64)
+        rels = np.asarray(rels, dtype=np.int64)
+        tails = np.asarray(tails, dtype=np.int64)
+        if not self._vectorized:
+            return np.fromiter(
+                (
+                    (int(h), int(r), int(t)) in self._set
+                    for h, r, t in zip(heads, rels, tails)
+                ),
+                dtype=bool,
+                count=len(heads),
+            )
+        if len(self._keys) == 0 or len(heads) == 0:
+            return np.zeros(len(heads), dtype=bool)
+        keys = self._encode(heads, rels, tails)
+        pos = np.minimum(
+            np.searchsorted(self._keys, keys), len(self._keys) - 1
+        )
+        return self._keys[pos] == keys
+
+    def contains(self, h: int, r: int, t: int) -> bool:
+        """Scalar membership check."""
+        if not self._vectorized:
+            return (int(h), int(r), int(t)) in self._set
+        if len(self._keys) == 0:
+            return False
+        key = (int(h) * self.num_relations + int(r)) * self.num_entities + int(t)
+        pos = int(np.searchsorted(self._keys, key))
+        return pos < len(self._keys) and int(self._keys[pos]) == key
+
+
 class KnowledgeGraph:
     """A knowledge graph ``G = {(h, r, t)}`` over integer entity/relation ids.
 
@@ -69,6 +154,7 @@ class KnowledgeGraph:
         self.relation_labels = relation_labels
 
         self._triple_set: set[tuple[int, int, int]] | None = None
+        self._triple_index: TripleIndex | None = None
 
     # ------------------------------------------------------------------ basic
 
@@ -99,6 +185,19 @@ class KnowledgeGraph:
                 (int(h), int(r), int(t)) for h, r, t in self.triples
             }
         return self._triple_set
+
+    def triple_index(self) -> TripleIndex:
+        """Vectorized membership index over the triples, built lazily.
+
+        Used by the negative sampler to detect false-negative collisions for
+        a whole batch of corruptions in one probe (see
+        :class:`TripleIndex`); :meth:`triple_set` remains the scalar oracle.
+        """
+        if self._triple_index is None:
+            self._triple_index = TripleIndex(
+                self.triples, self.num_entities, self.num_relations
+            )
+        return self._triple_index
 
     # -------------------------------------------------------------- structure
 

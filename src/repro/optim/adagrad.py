@@ -45,10 +45,14 @@ class SparseAdagrad(SparseOptimizer):
         table: np.ndarray,
         row_ids: np.ndarray,
         grads: np.ndarray,
+        assume_unique: bool = False,
     ) -> None:
         if len(row_ids) == 0:
             return
-        ids, g = coalesce(row_ids, grads)
+        if assume_unique:
+            ids, g = row_ids, grads
+        else:
+            ids, g = coalesce(row_ids, grads)
         acc = self._accumulator_for(table_name, table)
         acc[ids] += g * g
         table[ids] -= self.lr * g / np.sqrt(acc[ids] + self.eps)

@@ -13,6 +13,8 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro.utils.kernels import scatter_add_rows
+
 
 class SparseOptimizer(ABC):
     """Applies sparse row updates to named embedding tables."""
@@ -29,12 +31,17 @@ class SparseOptimizer(ABC):
         table: np.ndarray,
         row_ids: np.ndarray,
         grads: np.ndarray,
+        assume_unique: bool = False,
     ) -> None:
         """Apply one gradient step to ``table[row_ids]`` in place.
 
         ``row_ids`` may contain duplicates (the same embedding touched by
         several triples in a batch); implementations must accumulate those
-        contributions rather than letting the last write win.
+        contributions rather than letting the last write win.  Callers that
+        *guarantee* distinct ids (e.g. the cache writing back per-unique-id
+        gradients to its slots) may pass ``assume_unique=True`` to skip the
+        coalescing scan entirely; per-row arithmetic is unchanged, so the
+        update is bit-identical to the coalesced path.
         """
 
     @abstractmethod
@@ -51,9 +58,17 @@ def coalesce(
     frameworks do for sparse gradients and is required for correctness with
     fancy-indexed in-place updates (``table[ids] -= g`` drops duplicate
     contributions).
+
+    Fast path: the training loop pushes gradients already coalesced per
+    sorted-unique id (:func:`repro.core.compute.compute_batch_gradients`
+    returns them that way), so a strictly-increasing id array is passed
+    through untouched — no ``np.unique``, no scatter.  The general path
+    sums duplicates with one :func:`~repro.utils.kernels.scatter_add_rows`
+    (input-order ``np.bincount``), matching the former ``np.add.at``
+    accumulation bit for bit.
     """
     row_ids = np.asarray(row_ids, dtype=np.int64)
+    if len(row_ids) < 2 or bool(np.all(row_ids[:-1] < row_ids[1:])):
+        return row_ids, np.asarray(grads)
     unique, inverse = np.unique(row_ids, return_inverse=True)
-    summed = np.zeros((len(unique), grads.shape[1]), dtype=grads.dtype)
-    np.add.at(summed, inverse, grads)
-    return unique, summed
+    return unique, scatter_add_rows(inverse, grads, len(unique))

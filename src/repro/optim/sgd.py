@@ -18,10 +18,14 @@ class SparseSGD(SparseOptimizer):
         table: np.ndarray,
         row_ids: np.ndarray,
         grads: np.ndarray,
+        assume_unique: bool = False,
     ) -> None:
         if len(row_ids) == 0:
             return
-        ids, g = coalesce(row_ids, grads)
+        if assume_unique:
+            ids, g = row_ids, grads
+        else:
+            ids, g = coalesce(row_ids, grads)
         table[ids] -= self.lr * g
 
     def state_size(self) -> int:

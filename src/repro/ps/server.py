@@ -87,10 +87,13 @@ class ParameterServer:
         ids = np.asarray(ids, dtype=np.int64)
         with self._trace(machine).span("ps.pull", "ps", kind=kind) as span:
             rows = self.store.read(kind, ids)
-            remote = self.store.owners(kind, ids) != machine
+            # One ownership gather feeds both the compression split and the
+            # traffic metering (previously three gathers + two np.unique).
+            owners = self.store.owners(kind, ids)
+            remote = owners != machine
             if remote.any():
                 rows[remote] = self.compressor.roundtrip(rows[remote])
-            comm = self._meter(kind, ids, machine)
+            comm = self._meter_owned(kind, owners, machine)
             span.set(
                 rows=len(ids),
                 bytes=comm.total_bytes,
@@ -111,8 +114,9 @@ class ParameterServer:
                 f"push got {len(ids)} ids but {len(grads)} gradient rows"
             )
         with self._trace(machine).span("ps.push", "ps", kind=kind) as span:
-            comm = self._meter(kind, ids, machine)
-            remote = self.store.owners(kind, ids) != machine
+            owners = self.store.owners(kind, ids)
+            comm = self._meter_owned(kind, owners, machine)
+            remote = owners != machine
             if remote.any():
                 grads = np.asarray(grads, dtype=np.float64).copy()
                 grads[remote] = self.compressor.roundtrip(grads[remote])
@@ -146,14 +150,33 @@ class ParameterServer:
     def _meter(self, kind: str, ids: np.ndarray, machine: int) -> CommRecord:
         """Byte/message accounting for moving rows ``ids`` to/from
         ``machine``.  One message per contacted server shard."""
+        return self._meter_owned(kind, self.store.owners(kind, ids), machine)
+
+    def _meter_owned(
+        self, kind: str, owners: np.ndarray, machine: int
+    ) -> CommRecord:
+        """Metering from a precomputed ownership array.
+
+        ``pull``/``push`` gather ownership once and reuse it here, instead
+        of the previous ``split_local_remote`` + ``remote_machine_count``
+        pair that re-gathered ``owners[ids]`` twice more and ran two
+        ``np.unique`` passes; the local/remote split and the distinct-shard
+        count both derive from one ``np.bincount`` over the gather (owner
+        ids are dense machine indices, so counting beats sorting).
+        """
         row_bytes = self.store.row_width(kind) * BYTES_PER_ELEMENT * self.byte_scale
-        local_ids, remote_ids = self.store.split_local_remote(kind, ids, machine)
-        remote_shards = self.store.remote_machine_count(kind, ids, machine)
+        counts = np.bincount(owners)
+        n_local = int(counts[machine]) if machine < len(counts) else 0
+        n_remote = len(owners) - n_local
+        present = counts > 0
+        if machine < len(counts):
+            present[machine] = False
+        remote_shards = int(present.sum())
         return CommRecord(
-            local_bytes=int(len(local_ids) * row_bytes),
+            local_bytes=int(n_local * row_bytes),
             remote_bytes=int(
-                len(remote_ids) * row_bytes * self.compressor.byte_factor
+                n_remote * row_bytes * self.compressor.byte_factor
             ),
-            local_messages=1 if len(local_ids) else 0,
+            local_messages=1 if n_local else 0,
             remote_messages=remote_shards,
         )

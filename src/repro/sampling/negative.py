@@ -120,7 +120,12 @@ class NegativeSampler:
         self.num_negatives = num_negatives
         self.strategy = strategy
         self.chunk_size = chunk_size
-        self._filter = filter_graph.triple_set() if filter_graph is not None else None
+        if filter_graph is not None:
+            self._filter = filter_graph.triple_set()
+            self._filter_index = filter_graph.triple_index()
+        else:
+            self._filter = None
+            self._filter_index = None
         if entity_pool is not None:
             entity_pool = np.asarray(entity_pool, dtype=np.int64)
             if len(entity_pool) == 0:
@@ -168,18 +173,38 @@ class NegativeSampler:
     # ---------------------------------------------------------------- private
 
     def _resample_false_negatives(self, batch: MiniBatch, retries: int = 10) -> None:
-        """Replace corruptions that collide with true triples, in place."""
-        assert self._filter is not None
+        """Replace corruptions that collide with true triples, in place.
+
+        Collision *detection* is one vectorized
+        :meth:`~repro.kg.graph.TripleIndex.contains_batch` probe over all
+        ``b * n`` corrupted triples (it consumes no randomness); only the
+        colliding entries then run the original per-entry retry loop, in
+        row-major order, so the RNG draw sequence is bit-identical to the
+        scalar reference that checked every entry.
+        """
+        assert self._filter is not None and self._filter_index is not None
+        n = batch.num_negatives
+        if batch.size == 0 or n == 0:
+            return
         pos = batch.positives
-        for i in range(batch.size):
+        flat = batch.neg_entities.ravel()
+        heads_rep = np.repeat(batch.corrupt_head, n)
+        cand_h = np.where(heads_rep, flat, np.repeat(pos[:, HEAD], n))
+        cand_t = np.where(heads_rep, np.repeat(pos[:, TAIL], n), flat)
+        collide = self._filter_index.contains_batch(
+            cand_h, np.repeat(pos[:, REL], n), cand_t
+        )
+        if not collide.any():
+            return
+        for k in np.flatnonzero(collide):
+            i, j = divmod(int(k), n)
             h, r, t = (int(x) for x in pos[i])
             head = bool(batch.corrupt_head[i])
-            for j in range(batch.num_negatives):
-                e = int(batch.neg_entities[i, j])
+            e = int(batch.neg_entities[i, j])
+            candidate = (e, r, t) if head else (h, r, e)
+            attempts = 0
+            while candidate in self._filter and attempts < retries:
+                e = int(self._draw_entities(1)[0])
                 candidate = (e, r, t) if head else (h, r, e)
-                attempts = 0
-                while candidate in self._filter and attempts < retries:
-                    e = int(self._draw_entities(1)[0])
-                    candidate = (e, r, t) if head else (h, r, e)
-                    attempts += 1
-                batch.neg_entities[i, j] = e
+                attempts += 1
+            batch.neg_entities[i, j] = e

@@ -1,0 +1,506 @@
+"""Equivalence guard for the vectorized hot-path kernels.
+
+Two layers of protection:
+
+1. **Golden runs** — seeded HET-KG-C / HET-KG-D / DGL-KE training runs
+   whose every output (losses, simulated clocks, byte/message counters,
+   cache hit counters, eval metrics) was fingerprinted with the
+   *pre-vectorization* kernels and committed to
+   ``tests/golden/train_golden.json`` (floats as ``float.hex()``).  The
+   vectorized kernels must reproduce every value bit for bit.
+
+2. **Property tests** — each kernel against the readable reference
+   implementation it replaced (dict slot maps, Python sorts,
+   ``np.add.at`` scatters, per-query eval loops, O(capacity) LFU scans),
+   on randomized inputs, asserting *exact* equality, not closeness.
+
+If one of these fails after an intentional numerics change (e.g. a new
+optimizer default), regenerate the golden file with
+``PYTHONPATH=src python tests/golden/capture.py`` — never to paper over
+an unintended kernel divergence.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+from collections import Counter, OrderedDict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.filtering import _top_ids, filter_hot_ids
+from repro.cache.prefetch import _count_batch, _fold_counts
+from repro.cache.policies import EvictionPolicy, LFUCache
+from repro.cache.table import CacheTable
+from repro.core.evaluation import (
+    FilterIndex,
+    _full_ranks_reference,
+    _ranks_batched,
+    evaluate_link_prediction,
+)
+from repro.kg.graph import HEAD, REL, TAIL, KnowledgeGraph, TripleIndex
+from repro.models import get_model
+from repro.optim.base import coalesce
+from repro.sampling.negative import NegativeSampler
+from repro.utils.kernels import scatter_add_rows
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def _load_capture_module():
+    spec = importlib.util.spec_from_file_location(
+        "golden_capture", GOLDEN_DIR / "capture.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+# ---------------------------------------------------------------- golden runs
+
+
+class TestGoldenRuns:
+    """Bit-identical training outputs vs the committed pre-refactor runs."""
+
+    golden = json.loads((GOLDEN_DIR / "train_golden.json").read_text())
+    capture = _load_capture_module()
+
+    @pytest.mark.parametrize(
+        "entry", [k for k in golden if k != "config"]
+    )
+    def test_fingerprint_bit_identical(self, entry):
+        if entry == "hetkg-d+filtered-negatives":
+            fresh = self.capture.fingerprint("hetkg-d", filtered_negatives=True)
+        elif entry == "dglke+full-ranking-eval":
+            fresh = self.capture.fingerprint("dglke", eval_candidates=None)
+        else:
+            fresh = self.capture.fingerprint(entry)
+        assert fresh == self.golden[entry], (
+            f"{entry}: vectorized kernels diverged from the golden run "
+            "(every float is compared via float.hex() — this is a real "
+            "numerics change, not jitter)"
+        )
+
+
+# ----------------------------------------------------- cache table vs dict map
+
+
+class RefDictTable:
+    """The pre-vectorization dict slot map (membership oracle)."""
+
+    def __init__(self, ids: np.ndarray, rows: np.ndarray) -> None:
+        self._slot_of = {int(e): i for i, e in enumerate(ids)}
+        self._rows = rows
+
+    def partition(self, ids: np.ndarray):
+        mask = np.fromiter(
+            (int(e) in self._slot_of for e in ids), dtype=bool, count=len(ids)
+        )
+        return mask, ids[mask], ids[~mask]
+
+    def get(self, ids: np.ndarray) -> np.ndarray:
+        slots = [self._slot_of[int(e)] for e in ids]
+        return self._rows[slots]
+
+
+class TestCacheTableVsDictMap:
+    @given(
+        ids=st.lists(st.integers(0, 500), min_size=0, max_size=40, unique=True),
+        queries=st.lists(st.integers(0, 500), min_size=0, max_size=60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_and_get_agree(self, ids, queries):
+        ids = np.asarray(ids, dtype=np.int64)
+        queries = np.asarray(queries, dtype=np.int64)
+        rows = np.arange(3.0 * len(ids)).reshape(len(ids), 3)
+        table = CacheTable(max(1, len(ids)), 3)
+        table.install(ids, rows)
+        ref = RefDictTable(ids, rows)
+
+        mask, hit_ids, miss_ids = table.partition_hits(queries)
+        ref_mask, ref_hits, ref_misses = ref.partition(queries)
+        assert np.array_equal(mask, ref_mask)
+        assert np.array_equal(hit_ids, ref_hits)
+        assert np.array_equal(miss_ids, ref_misses)
+        if len(hit_ids):
+            assert np.array_equal(table.get(hit_ids), ref.get(hit_ids))
+
+    @given(
+        ids=st.lists(st.integers(0, 200), min_size=1, max_size=30, unique=True),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_lookup_slots_match_install_order(self, ids):
+        ids = np.asarray(ids, dtype=np.int64)
+        table = CacheTable(len(ids), 2)
+        table.install(ids, np.zeros((len(ids), 2)))
+        mask, slots = table.lookup(ids)
+        assert mask.all()
+        # install assigns ids[i] -> slot i, exactly like the dict map did.
+        assert np.array_equal(slots, np.arange(len(ids)))
+
+
+# -------------------------------------------------------- top-k tie-breaking
+
+
+def ref_top_ids(counts: dict[int, int], k: int) -> np.ndarray:
+    """Pre-vectorization Python sort on (-count, id)."""
+    if k <= 0 or not counts:
+        return np.empty(0, dtype=np.int64)
+    ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    return np.asarray([key for key, _ in ranked[:k]], dtype=np.int64)
+
+
+counts_strategy = st.dictionaries(
+    st.integers(0, 80), st.integers(1, 8), min_size=0, max_size=60
+)
+
+
+class TestTopKTieBreaking:
+    @given(counts=counts_strategy, k=st.integers(0, 70))
+    @settings(max_examples=80, deadline=None)
+    def test_lexsort_matches_python_sort(self, counts, k):
+        assert np.array_equal(_top_ids(counts, k), ref_top_ids(counts, k))
+
+    @given(
+        ent=counts_strategy, rel=counts_strategy, capacity=st.integers(1, 60)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_frequency_only_merge_matches_reference(self, ent, rel, capacity):
+        """HET-KG-N path: merged (count desc, kind, id) ordering."""
+        hot = filter_hot_ids(ent, rel, capacity, entity_ratio=None)
+        merged = [(-c, 0, e) for e, c in ent.items()]
+        merged += [(-c, 1, r) for r, c in rel.items()]
+        merged.sort()
+        top = merged[:capacity]
+        assert np.array_equal(
+            hot.entities,
+            np.asarray([e for _, kind, e in top if kind == 0], dtype=np.int64),
+        )
+        assert np.array_equal(
+            hot.relations,
+            np.asarray([r for _, kind, r in top if kind == 1], dtype=np.int64),
+        )
+
+
+# ------------------------------------------------- prefetch counting kernels
+
+
+class TestFoldCounts:
+    @given(seed=st.integers(0, 1000), n_batches=st.integers(0, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_fold_matches_per_batch_counter(self, seed, n_batches):
+        """_fold_counts must agree with applying _count_batch batch by batch."""
+        from repro.sampling.negative import MiniBatch
+
+        rng = np.random.default_rng(seed)
+        batches = []
+        for _ in range(n_batches):
+            b, n = int(rng.integers(1, 8)), int(rng.integers(1, 5))
+            batches.append(
+                MiniBatch(
+                    positives=rng.integers(0, 30, size=(b, 3)).astype(np.int64),
+                    neg_entities=rng.integers(0, 30, size=(b, n)).astype(np.int64),
+                    corrupt_head=rng.random(b) < 0.5,
+                )
+            )
+        ref_ent: dict[int, int] = {}
+        ref_rel: dict[int, int] = {}
+        for batch in batches:
+            _count_batch(batch, ref_ent, ref_rel)
+
+        ent_chunks, rel_chunks, rel_weights = [], [], []
+        for batch in batches:
+            ent_chunks += [
+                batch.positives[:, HEAD],
+                batch.positives[:, TAIL],
+                batch.neg_entities.ravel(),
+            ]
+            rel_chunks.append(batch.positives[:, REL])
+            rel_weights.append(1 + batch.num_negatives)
+        assert _fold_counts(ent_chunks) == ref_ent
+        assert _fold_counts(rel_chunks, rel_weights) == ref_rel
+
+
+# ------------------------------------------------------ scatter-add kernels
+
+
+class TestScatterAdd:
+    @given(
+        seed=st.integers(0, 1000),
+        n_out=st.integers(1, 40),
+        n_in=st.integers(0, 120),
+        dim=st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bincount_scatter_bit_identical_to_add_at(
+        self, seed, n_out, n_in, dim
+    ):
+        rng = np.random.default_rng(seed)
+        idx = rng.integers(0, n_out, size=n_in)
+        rows = rng.standard_normal((n_in, dim))
+        ref = np.zeros((n_out, dim))
+        np.add.at(ref, idx, rows)
+        assert np.array_equal(scatter_add_rows(idx, rows, n_out), ref)
+
+    @given(seed=st.integers(0, 1000), n_in=st.integers(0, 60))
+    @settings(max_examples=60, deadline=None)
+    def test_coalesce_bit_identical_to_add_at_reference(self, seed, n_in):
+        rng = np.random.default_rng(seed)
+        ids = rng.integers(0, 25, size=n_in).astype(np.int64)
+        grads = rng.standard_normal((n_in, 4))
+        unique, summed = coalesce(ids, grads)
+        ref_unique, ref_inverse = np.unique(ids, return_inverse=True)
+        ref_summed = np.zeros((len(ref_unique), 4))
+        np.add.at(ref_summed, ref_inverse, grads)
+        assert np.array_equal(unique, ref_unique)
+        assert np.array_equal(summed, ref_summed)
+
+
+# ------------------------------------------------------------- triple index
+
+
+class TestTripleIndex:
+    @given(
+        seed=st.integers(0, 500),
+        n_triples=st.integers(0, 60),
+        n_queries=st.integers(0, 80),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_contains_batch_matches_set(self, seed, n_triples, n_queries):
+        rng = np.random.default_rng(seed)
+        triples = np.column_stack(
+            [
+                rng.integers(0, 20, size=n_triples),
+                rng.integers(0, 5, size=n_triples),
+                rng.integers(0, 20, size=n_triples),
+            ]
+        ).astype(np.int64)
+        index = TripleIndex(triples, 20, 5)
+        truth = {(int(h), int(r), int(t)) for h, r, t in triples}
+        qh = rng.integers(0, 20, size=n_queries)
+        qr = rng.integers(0, 5, size=n_queries)
+        qt = rng.integers(0, 20, size=n_queries)
+        expected = np.fromiter(
+            ((int(h), int(r), int(t)) in truth for h, r, t in zip(qh, qr, qt)),
+            dtype=bool,
+            count=n_queries,
+        )
+        assert np.array_equal(index.contains_batch(qh, qr, qt), expected)
+        for h, r, t in zip(qh[:10], qr[:10], qt[:10]):
+            assert index.contains(h, r, t) == ((int(h), int(r), int(t)) in truth)
+
+
+# ------------------------------------------------- negative resampler (RNG)
+
+
+class TestNegativeResamplerRNGFaithful:
+    def _reference_resample(self, sampler, batch, retries=10):
+        """The pre-vectorization per-entry scan, verbatim."""
+        pos = batch.positives
+        for i in range(batch.size):
+            h, r, t = (int(x) for x in pos[i])
+            head = bool(batch.corrupt_head[i])
+            for j in range(batch.num_negatives):
+                e = int(batch.neg_entities[i, j])
+                candidate = (e, r, t) if head else (h, r, e)
+                attempts = 0
+                while candidate in sampler._filter and attempts < retries:
+                    e = int(sampler._draw_entities(1)[0])
+                    candidate = (e, r, t) if head else (h, r, e)
+                    attempts += 1
+                batch.neg_entities[i, j] = e
+
+    @pytest.mark.parametrize("seed", [0, 3, 17])
+    def test_same_negatives_and_rng_state(self, small_graph, seed):
+        def build(sampler_seed):
+            return NegativeSampler(
+                small_graph.num_entities,
+                num_negatives=4,
+                strategy="chunked",
+                chunk_size=8,
+                filter_graph=small_graph,
+                seed=sampler_seed,
+            )
+
+        rng = np.random.default_rng(seed)
+        positives = small_graph.triples[
+            rng.choice(len(small_graph.triples), size=48, replace=False)
+        ]
+        vec = build(seed)
+        ref = build(seed)
+        vec_batch = vec.corrupt(positives)  # vectorized detection inside
+
+        ref_batch = ref.corrupt(positives)
+        # corrupt() already resampled via the vectorized path in both;
+        # instead drive the reference loop manually on a pristine batch.
+        ref2 = build(seed)
+        ref2._filter_index = None  # force manual control
+        ref2._filter = None  # disable in-corrupt resampling
+        raw = ref2.corrupt(positives)
+        ref2._filter = small_graph.triple_set()
+        self._reference_resample(ref2, raw)
+
+        assert np.array_equal(vec_batch.neg_entities, raw.neg_entities)
+        assert np.array_equal(vec_batch.neg_entities, ref_batch.neg_entities)
+        # Identical residual RNG state: the next draw must agree.
+        assert np.array_equal(
+            vec._draw_entities(8), ref2._draw_entities(8)
+        )
+
+
+# ------------------------------------------------------- evaluation kernels
+
+
+@pytest.fixture(scope="module")
+def eval_setup():
+    rng = np.random.default_rng(5)
+    graph = KnowledgeGraph(
+        np.column_stack(
+            [
+                rng.integers(0, 40, size=120),
+                rng.integers(0, 6, size=120),
+                rng.integers(0, 40, size=120),
+            ]
+        ).astype(np.int64),
+        num_entities=40,
+        num_relations=6,
+    )
+    model = get_model("transe", dim=6)
+    entity_table = rng.standard_normal((40, 6))
+    relation_table = rng.standard_normal((6, 6))
+    return model, entity_table, relation_table, graph
+
+
+class TestEvaluationEquivalence:
+    @pytest.mark.parametrize("replace_head", [True, False])
+    @pytest.mark.parametrize("filtered", [True, False])
+    def test_full_ranks_batched_vs_reference(
+        self, eval_setup, replace_head, filtered
+    ):
+        model, ent, rel, graph = eval_setup
+        filter_index = FilterIndex(graph.triple_set()) if filtered else None
+        ref = _full_ranks_reference(
+            model, ent, rel, graph.triples, replace_head, filter_index
+        )
+        vec = _ranks_batched(
+            model, ent, rel, graph.triples, replace_head, filter_index
+        )
+        assert vec == ref
+        # Tiny blocks exercise the chunking edges too.
+        assert (
+            _ranks_batched(
+                model, ent, rel, graph.triples, replace_head, filter_index,
+                block_rows=64,
+            )
+            == ref
+        )
+
+    @pytest.mark.parametrize("num_candidates", [None, 10])
+    @pytest.mark.parametrize("filtered", [True, False])
+    def test_evaluate_batched_vs_reference_loop(
+        self, eval_setup, num_candidates, filtered
+    ):
+        model, ent, rel, graph = eval_setup
+        filter_set = graph.triple_set() if filtered else None
+        kwargs = dict(
+            filter_set=filter_set,
+            max_queries=25,
+            num_candidates=num_candidates,
+            seed=9,
+        )
+        vec = evaluate_link_prediction(
+            model, ent, rel, graph, batched=True, **kwargs
+        )
+        ref = evaluate_link_prediction(
+            model, ent, rel, graph, batched=False, **kwargs
+        )
+        assert vec == ref  # dataclass equality: exact float comparison
+
+
+# --------------------------------------------------------------- LFU policy
+
+
+class RefLFU(EvictionPolicy):
+    """The former O(capacity) min-scan LFU."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._counts: Counter[int] = Counter()
+        self._members: OrderedDict[int, None] = OrderedDict()
+
+    def _access(self, key: int) -> bool:
+        self._counts[key] += 1
+        if key in self._members:
+            self._members.move_to_end(key)
+            return True
+        if len(self._members) >= self.capacity:
+            victim = min(self._members, key=lambda k: (self._counts[k], 0))
+            del self._members[victim]
+        self._members[key] = None
+        return False
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+
+class TestLFUBucketEquivalence:
+    @given(
+        seed=st.integers(0, 500),
+        capacity=st.integers(1, 12),
+        length=st.integers(0, 300),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_hit_sequence_and_membership_match_min_scan(
+        self, seed, capacity, length
+    ):
+        rng = np.random.default_rng(seed)
+        trace = rng.zipf(1.4, size=length) % 40
+        fast, ref = LFUCache(capacity), RefLFU(capacity)
+        for key in trace:
+            assert fast.access(int(key)) == ref.access(int(key))
+        assert fast.hits == ref.hits and fast.misses == ref.misses
+        assert len(fast) == len(ref)
+
+
+# ------------------------------------------------------- parallel runner
+
+
+class TestParallelRunner:
+    def test_parallel_map_preserves_order_inline_and_pooled(self):
+        from repro.experiments.parallel import parallel_map
+
+        items = list(range(7))
+        assert parallel_map(_square, items, jobs=1) == [i * i for i in items]
+        assert parallel_map(_square, items, jobs=2) == [i * i for i in items]
+
+    def test_sweep_jobs2_identical_to_serial(self, small_graph):
+        from repro.core.config import TrainingConfig
+        from repro.experiments.sweep import run_sweep
+        from repro.kg.splits import split_triples
+
+        split = split_triples(small_graph, seed=0)
+        config = TrainingConfig(
+            model="transe", dim=4, epochs=1, batch_size=32, num_negatives=2,
+            num_machines=2, cache_capacity=32, sync_period=4, seed=0,
+        )
+        kwargs = dict(
+            filter_set=small_graph.triple_set(),
+            eval_max_queries=20,
+            eval_candidates=20,
+        )
+        serial = run_sweep(
+            "hetkg-c", config, split, {"sync_period": [2, 8]}, jobs=1, **kwargs
+        )
+        pooled = run_sweep(
+            "hetkg-c", config, split, {"sync_period": [2, 8]}, jobs=2, **kwargs
+        )
+        assert serial.records == pooled.records  # exact, includes floats
+        assert serial.to_text() == pooled.to_text()
+
+
+def _square(x: int) -> int:
+    return x * x
