@@ -1,0 +1,34 @@
+"""Bench for the streaming-drift study: cache strategies under hotness drift.
+
+The acceptance shape: ADAPTIVE >= DPS >= CPS on hit ratio under hot-set
+rotation, with CPS degrading visibly vs its own stationary run (the
+runner itself asserts both — see repro/experiments/streaming_drift.py).
+"""
+
+from repro.experiments.streaming_drift import run_streaming_drift
+
+
+def test_streaming_drift(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_streaming_drift(scale=0.02, epochs=2),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    hit = {
+        (profile, system): ratio
+        for profile, system, ratio, *_ in result.rows
+    }
+    # DGL-KE has no cache at all; every HET-KG variant beats it everywhere.
+    for profile in ("none", "rotation", "zipf-shift", "burst"):
+        assert hit[(profile, "DGL-KE")] == 0.0
+        for system in ("HET-KG-C", "HET-KG-D", "HET-KG-A"):
+            assert hit[(profile, system)] > 0.0
+    # Rotation is where the strategies separate (asserted in the runner
+    # too; restated here so the bench fails loudly on its own).
+    assert (
+        hit[("rotation", "HET-KG-A")]
+        >= hit[("rotation", "HET-KG-D")]
+        >= hit[("rotation", "HET-KG-C")]
+    )
+    assert hit[("none", "HET-KG-C")] - hit[("rotation", "HET-KG-C")] > 0.02

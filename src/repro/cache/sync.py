@@ -268,6 +268,33 @@ class HotEmbeddingCache:
             self._local_optimizers[kind] = SparseAdagrad(self.local_lr)
         self._iterations_since_sync = 0
 
+    def invalidate_ids(self, kind: str, ids: np.ndarray) -> int:
+        """Evict specific rows from one table (streaming invalidation).
+
+        Online ingestion (:mod:`repro.stream`) deletes triples and rewires
+        entities; cached rows for the affected ids would serve embeddings
+        for graph structure that no longer exists, so they are dropped.
+        Surviving rows keep their values, but the local optimizer state is
+        reset (its accumulators are slot-aligned to the old membership and
+        cannot be safely permuted).  Returns the number of rows evicted.
+        """
+        table = self._tables[kind]
+        ids = np.asarray(ids, dtype=np.int64)
+        if len(ids) == 0 or table.occupied == 0:
+            return 0
+        current = table.ids
+        keep_mask = ~np.isin(current, ids)
+        evicted = int((~keep_mask).sum())
+        if evicted == 0:
+            return 0
+        kept = current[keep_mask]
+        _, slots = table.lookup(kept)
+        rows = table.rows_view()[slots].copy()
+        table.install(kept, rows)
+        self._local_optimizers[kind] = SparseAdagrad(self.local_lr)
+        self.trace.count("cache.invalidations")
+        return evicted
+
     # ------------------------------------------------------------------ stats
 
     def stats(self, kind: str) -> CacheStats:

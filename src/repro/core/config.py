@@ -64,12 +64,20 @@ class TrainingConfig:
 
     Hot-embedding cache (HET-KG only)
     ---------------------------------
-    cache_strategy: ``"cps"``, ``"dps"``, or ``"none"`` (DGL-KE behaviour).
+    cache_strategy: ``"cps"``, ``"dps"``, ``"adaptive"`` (drift-triggered
+        DPS, see :mod:`repro.stream.drift`), or ``"none"`` (DGL-KE).
     cache_capacity: total cached rows per worker (entities + relations).
     entity_ratio: fraction of slots for entities; ``None`` disables the
         heterogeneity fix (HET-KG-N of Table VII).
     sync_period: ``P`` — cache refresh period bounding staleness.
-    dps_window: ``D`` — DPS prefetch window in iterations.
+    dps_window: ``D`` — DPS prefetch window in iterations (also the
+        observation window of the ADAPTIVE strategy).
+    adaptive_threshold: ADAPTIVE rebuilds when the Jaccard overlap between
+        the current window's hot set and the cache membership falls below
+        this value (or the hit-ratio EWMA drops; see
+        :class:`repro.stream.drift.DriftDetector`).
+    adaptive_decay: per-window decay of ADAPTIVE's accumulated hotness
+        counts (0 = only the latest window, 1 = never forget).
 
     seed: master seed for all randomness.
     """
@@ -107,6 +115,8 @@ class TrainingConfig:
     entity_ratio: float | None = 0.25
     sync_period: int = 8
     dps_window: int = 32
+    adaptive_threshold: float = 0.65
+    adaptive_decay: float = 0.5
 
     seed: int = 0
 
@@ -128,7 +138,13 @@ class TrainingConfig:
             "negative_strategy", self.negative_strategy, ("chunked", "independent")
         )
         check_in("partitioner", self.partitioner, ("metis", "random"))
-        check_in("cache_strategy", self.cache_strategy, ("cps", "dps", "none"))
+        check_in(
+            "cache_strategy",
+            self.cache_strategy,
+            ("cps", "dps", "adaptive", "none"),
+        )
+        check_fraction("adaptive_threshold", self.adaptive_threshold)
+        check_fraction("adaptive_decay", self.adaptive_decay)
         if self.entity_ratio is not None:
             check_fraction("entity_ratio", self.entity_ratio)
         if self.wire_dim is not None:

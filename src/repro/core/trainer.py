@@ -115,6 +115,18 @@ class HETKGTrainer:
             return DynamicPartialStale(
                 cfg.cache_capacity, cfg.dps_window, cfg.entity_ratio
             )
+        if cfg.cache_strategy == "adaptive":
+            # Imported lazily: the ADAPTIVE strategy lives in the streaming
+            # subsystem and the static trainers must not depend on it.
+            from repro.stream.drift import AdaptiveStale
+
+            return AdaptiveStale(
+                cfg.cache_capacity,
+                cfg.dps_window,
+                cfg.entity_ratio,
+                threshold=cfg.adaptive_threshold,
+                decay=cfg.adaptive_decay,
+            )
         return None
 
     def _cache_budgets(self) -> tuple[int, int]:
@@ -424,8 +436,8 @@ class HETKGTrainer:
 def make_trainer(system: str, config: TrainingConfig):
     """Build the trainer for a paper system name.
 
-    ``system`` is one of ``"hetkg-c"``, ``"hetkg-d"``, ``"dglke"``,
-    ``"pbg"`` (case-insensitive).
+    ``system`` is one of ``"hetkg-c"``, ``"hetkg-d"``, ``"hetkg-a"``,
+    ``"dglke"``, ``"pbg"`` (case-insensitive).
     """
     from repro.core.baselines import DGLKETrainer, PBGTrainer
 
@@ -434,10 +446,13 @@ def make_trainer(system: str, config: TrainingConfig):
         return HETKGTrainer(config.with_overrides(cache_strategy="cps"))
     if key in ("hetkg-d", "het-kg-d", "dps"):
         return HETKGTrainer(config.with_overrides(cache_strategy="dps"))
+    if key in ("hetkg-a", "het-kg-a", "adaptive"):
+        return HETKGTrainer(config.with_overrides(cache_strategy="adaptive"))
     if key in ("dglke", "dgl-ke"):
         return DGLKETrainer(config)
     if key == "pbg":
         return PBGTrainer(config)
     raise KeyError(
-        f"unknown system {system!r}; expected hetkg-c, hetkg-d, dglke, or pbg"
+        f"unknown system {system!r}; expected hetkg-c, hetkg-d, hetkg-a, "
+        f"dglke, or pbg"
     )

@@ -23,6 +23,7 @@ SYSTEM_LABELS = {
     "dglke": "DGL-KE",
     "hetkg-c": "HET-KG-C",
     "hetkg-d": "HET-KG-D",
+    "hetkg-a": "HET-KG-A",
 }
 
 #: The systems of Tables III-V, in the paper's row order.

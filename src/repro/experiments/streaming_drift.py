@@ -1,0 +1,152 @@
+"""Streaming-drift study: online training under hotness drift.
+
+The paper's motivation for DPS is that hotness *changes over time*, yet
+its evaluation (and this repo's other experiments) trains on frozen
+graphs, where a stationary access distribution flatters CPS.  This
+experiment finally gives the dynamic strategies a dynamic workload: every
+system trains through the same seeded event stream
+(:mod:`repro.stream.events`) under each drift profile, and we compare
+cache hit-ratio, simulated time, remote traffic, and prequential MRR.
+
+Expected shape of the results (asserted at the bottom of the runner for
+the hot-set-rotation profile):
+
+* **CPS degrades visibly** vs its own stationary (``none``-profile) run —
+  its one-shot hot set goes stale as the hot set rotates;
+* **DPS** re-tracks every window, so it stays close to its stationary
+  hit-ratio;
+* **ADAPTIVE** ≥ DPS ≥ CPS: finer-grained windows plus drift-triggered
+  rebuilds track the rotation fastest.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.trainer import make_trainer
+from repro.experiments.common import (
+    ExperimentResult,
+    SYSTEM_LABELS,
+    base_config,
+    dataset_bundle,
+)
+from repro.experiments.parallel import parallel_map
+from repro.stream import OnlineTrainer, make_stream
+
+#: Systems compared (PBG's block loop has no PS cache path to adapt).
+STREAM_SYSTEMS = ("dglke", "hetkg-c", "hetkg-d", "hetkg-a")
+
+#: Drift profiles, with ``none`` first as the stationary reference.
+STREAM_PROFILES = ("none", "rotation", "zipf-shift", "burst")
+
+#: Steps between stream updates (vs the shared ``dps_window`` of 16).
+UPDATE_INTERVAL = 8
+
+
+def _run_cell(task: tuple[str, str, float, int, int]):
+    """One (profile, system) online run (module-level: picklable)."""
+    profile, system, scale, epochs, seed = task
+    bundle = dataset_bundle("fb15k", scale=scale, seed=seed)
+    config = base_config(epochs=epochs, seed=seed)
+    train_graph = bundle.split.train
+    # Generous step bound: updates timed past the actual run are ignored,
+    # and spacing (drift speed) is per-step, so the bound is harmless.
+    steps = epochs * math.ceil(train_graph.num_triples / config.batch_size)
+    inserts = max(16, config.batch_size // 2)
+    stream = make_stream(
+        profile,
+        train_graph,
+        steps=steps,
+        seed=seed + 17,
+        **(
+            {}
+            if profile == "none"
+            else {"interval": UPDATE_INTERVAL, "inserts_per_update": inserts}
+        ),
+    )
+    trainer = make_trainer(system, config)
+    online = OnlineTrainer(trainer, stream, eval_every=4 * UPDATE_INTERVAL)
+    result = online.train(train_graph)
+    return profile, system, result
+
+
+def run_streaming_drift(
+    scale: float = 0.05,
+    epochs: int = 3,
+    seed: int = 0,
+    jobs: int = 1,
+) -> ExperimentResult:
+    """Hit-ratio/time/traffic/prequential-MRR of all systems under drift.
+
+    ``jobs`` trains the (profile x system) grid on worker processes; the
+    report is byte-identical to ``jobs=1`` (every cell is an independent
+    seeded run).
+    """
+    tasks = [
+        (profile, system, scale, epochs, seed)
+        for profile in STREAM_PROFILES
+        for system in STREAM_SYSTEMS
+    ]
+    outcomes = parallel_map(_run_cell, tasks, jobs=jobs)
+
+    rows = []
+    hit: dict[tuple[str, str], float] = {}
+    series: dict[str, list[tuple[float, float]]] = {}
+    for profile, system, result in outcomes:
+        hit[(profile, system)] = result.cache_hit_ratio
+        rows.append(
+            [
+                profile,
+                SYSTEM_LABELS[system],
+                result.cache_hit_ratio,
+                result.sim_time,
+                result.ingest_time,
+                result.comm_totals.remote_bytes / 1e6,
+                result.prequential.final_mrr,
+                result.adaptive_rebuilds,
+            ]
+        )
+        if profile == "rotation" and result.prequential.points:
+            series[f"prequential-mrr/{SYSTEM_LABELS[system]}"] = [
+                (float(p.step), p.mrr) for p in result.prequential.points
+            ]
+
+    cps_drop = hit[("none", "hetkg-c")] - hit[("rotation", "hetkg-c")]
+    ordering_ok = (
+        hit[("rotation", "hetkg-a")] >= hit[("rotation", "hetkg-d")]
+        and hit[("rotation", "hetkg-d")] >= hit[("rotation", "hetkg-c")]
+    )
+    assert ordering_ok, (
+        "expected ADAPTIVE >= DPS >= CPS on hit-ratio under rotation, got "
+        f"A={hit[('rotation', 'hetkg-a')]:.3f} "
+        f"D={hit[('rotation', 'hetkg-d')]:.3f} "
+        f"C={hit[('rotation', 'hetkg-c')]:.3f}"
+    )
+    assert cps_drop > 0.02, (
+        "expected CPS to degrade visibly under rotation; stationary "
+        f"{hit[('none', 'hetkg-c')]:.3f} vs rotated "
+        f"{hit[('rotation', 'hetkg-c')]:.3f}"
+    )
+
+    return ExperimentResult(
+        experiment_id="streaming-drift",
+        title="Online training under hotness drift (repro.stream)",
+        headers=[
+            "profile",
+            "system",
+            "hit ratio",
+            "time (s)",
+            "ingest (s)",
+            "remote MB",
+            "preq. MRR",
+            "rebuilds",
+        ],
+        rows=rows,
+        series=series,
+        notes=(
+            "asserted: ADAPTIVE >= DPS >= CPS hit-ratio under rotation; "
+            f"CPS hit-ratio drop vs stationary = {cps_drop:.3f}. "
+            "Prequential MRR is measured test-then-train on a sliding "
+            "holdout of stream triples (not comparable to static test MRR)."
+        ),
+    )

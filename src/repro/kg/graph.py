@@ -155,6 +155,9 @@ class KnowledgeGraph:
 
         self._triple_set: set[tuple[int, int, int]] | None = None
         self._triple_index: TripleIndex | None = None
+        self._degrees: np.ndarray | None = None
+        self._rel_counts: np.ndarray | None = None
+        self._adjacency: dict[int, list[int]] | None = None
 
     # ------------------------------------------------------------------ basic
 
@@ -199,32 +202,120 @@ class KnowledgeGraph:
             )
         return self._triple_index
 
+    # --------------------------------------------------------------- mutation
+
+    def invalidate_caches(self) -> None:
+        """Drop every lazily-built derived structure.
+
+        The triple set/index, degree/count vectors, and adjacency are all
+        memoised on first use; anything that mutates :attr:`triples` in
+        place (or the instance's vocabulary sizes) **must** call this, or
+        ``contains_batch``/``entity_degrees``/... keep answering for the
+        pre-mutation graph.  :meth:`mutated` (the copy-on-extend path used
+        by :mod:`repro.stream`) never needs it: a fresh instance starts
+        with cold caches.
+        """
+        self._triple_set = None
+        self._triple_index = None
+        self._degrees = None
+        self._rel_counts = None
+        self._adjacency = None
+
+    def mutated(
+        self,
+        inserts: np.ndarray | None = None,
+        deletes: np.ndarray | None = None,
+        num_entities: int | None = None,
+        num_relations: int | None = None,
+    ) -> "KnowledgeGraph":
+        """Copy-on-extend: a new graph with ``deletes`` removed (by value,
+        all occurrences) and ``inserts`` appended, over possibly larger
+        vocabularies.
+
+        This instance is untouched — its memoised caches stay valid — and
+        the returned graph builds its own caches lazily, so a grown
+        graph's :meth:`triple_index`/:meth:`entity_degrees` always see the
+        new triples.  ``num_entities``/``num_relations`` default to this
+        graph's sizes (they may only grow; ids never shrink mid-stream).
+
+        Returns ``self`` unchanged when there is nothing to apply.
+        """
+        n_ent = self.num_entities if num_entities is None else int(num_entities)
+        n_rel = self.num_relations if num_relations is None else int(num_relations)
+        if n_ent < self.num_entities or n_rel < self.num_relations:
+            raise ValueError(
+                "mutated() cannot shrink vocabularies "
+                f"({self.num_entities}->{n_ent} entities, "
+                f"{self.num_relations}->{n_rel} relations)"
+            )
+        has_inserts = inserts is not None and len(inserts) > 0
+        has_deletes = deletes is not None and len(deletes) > 0
+        if not has_inserts and not has_deletes and (
+            n_ent == self.num_entities and n_rel == self.num_relations
+        ):
+            return self
+        triples = self.triples
+        if has_deletes:
+            deletes = np.asarray(deletes, dtype=np.int64).reshape(-1, 3)
+            drop_index = TripleIndex(deletes, n_ent, n_rel)
+            if len(triples):
+                keep = ~drop_index.contains_batch(
+                    triples[:, HEAD], triples[:, REL], triples[:, TAIL]
+                )
+                triples = triples[keep]
+        if has_inserts:
+            inserts = np.asarray(inserts, dtype=np.int64).reshape(-1, 3)
+            triples = (
+                np.concatenate([triples, inserts]) if len(triples) else inserts
+            )
+        # Labels cannot cover grown vocabularies; drop them on growth.
+        grew = n_ent > self.num_entities or n_rel > self.num_relations
+        return KnowledgeGraph(
+            triples,
+            num_entities=n_ent,
+            num_relations=n_rel,
+            entity_labels=None if grew else self.entity_labels,
+            relation_labels=None if grew else self.relation_labels,
+        )
+
     # -------------------------------------------------------------- structure
 
     def entity_degrees(self) -> np.ndarray:
-        """Undirected degree of every entity (head + tail appearances)."""
-        degrees = np.zeros(self.num_entities, dtype=np.int64)
-        if len(self.triples):
-            np.add.at(degrees, self.triples[:, HEAD], 1)
-            np.add.at(degrees, self.triples[:, TAIL], 1)
-        return degrees
+        """Undirected degree of every entity (head + tail appearances).
+
+        Memoised; a copy is returned so callers may mutate freely.
+        """
+        if self._degrees is None:
+            degrees = np.zeros(self.num_entities, dtype=np.int64)
+            if len(self.triples):
+                np.add.at(degrees, self.triples[:, HEAD], 1)
+                np.add.at(degrees, self.triples[:, TAIL], 1)
+            self._degrees = degrees
+        return self._degrees.copy()
 
     def relation_counts(self) -> np.ndarray:
-        """Number of triples using each relation."""
-        counts = np.zeros(self.num_relations, dtype=np.int64)
-        if len(self.triples):
-            np.add.at(counts, self.triples[:, REL], 1)
-        return counts
+        """Number of triples using each relation (memoised; returns a copy)."""
+        if self._rel_counts is None:
+            counts = np.zeros(self.num_relations, dtype=np.int64)
+            if len(self.triples):
+                np.add.at(counts, self.triples[:, REL], 1)
+            self._rel_counts = counts
+        return self._rel_counts.copy()
 
     def adjacency(self) -> dict[int, list[int]]:
-        """Undirected entity adjacency list (used by the partitioner)."""
-        adj: dict[int, list[int]] = defaultdict(list)
-        for h, _, t in self.triples:
-            h, t = int(h), int(t)
-            if h != t:
-                adj[h].append(t)
-                adj[t].append(h)
-        return adj
+        """Undirected entity adjacency list (used by the partitioner).
+
+        Memoised; treat the returned dict as read-only.
+        """
+        if self._adjacency is None:
+            adj: dict[int, list[int]] = defaultdict(list)
+            for h, _, t in self.triples:
+                h, t = int(h), int(t)
+                if h != t:
+                    adj[h].append(t)
+                    adj[t].append(h)
+            self._adjacency = adj
+        return self._adjacency
 
     def subgraph(self, triple_indices: np.ndarray) -> "KnowledgeGraph":
         """A graph over the same vocabularies containing only the given rows."""

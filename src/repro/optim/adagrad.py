@@ -35,7 +35,19 @@ class SparseAdagrad(SparseOptimizer):
     def _accumulator_for(self, table_name: str, table: np.ndarray) -> np.ndarray:
         acc = self._accumulators.get(table_name)
         if acc is None or acc.shape != table.shape:
-            acc = np.zeros_like(table)
+            grown = np.zeros_like(table)
+            if (
+                acc is not None
+                and acc.ndim == table.ndim == 2
+                and acc.shape[1] == table.shape[1]
+                and acc.shape[0] < table.shape[0]
+            ):
+                # The table gained rows (online ingestion growing the
+                # vocabulary): keep the historical gradients of the
+                # surviving rows — resetting them would silently restart
+                # every existing embedding's learning-rate schedule.
+                grown[: acc.shape[0]] = acc
+            acc = grown
             self._accumulators[table_name] = acc
         return acc
 

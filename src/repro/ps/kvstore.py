@@ -83,6 +83,44 @@ class ShardedKVStore:
         """Overwrite rows (used for checkpoint restore, not training)."""
         self.table(kind)[np.asarray(ids, dtype=np.int64)] = rows
 
+    # ----------------------------------------------------------------- growth
+
+    def grow(
+        self, kind: str, rows: np.ndarray, owners: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Append freshly-initialised ``rows`` to the ``kind`` table.
+
+        Online ingestion (:mod:`repro.stream`) introduces new entities and
+        relations mid-run; their embedding rows are appended here and the
+        ownership map grows with them.  ``owners`` gives the owning machine
+        per new row; when omitted, entity rows are dealt round-robin
+        continuing from the current row count, and relation rows keep the
+        store's ``id % num_machines`` layout.
+
+        Returns the ids assigned to the new rows (``[old, old + n)``).
+        """
+        table = self.table(kind)
+        rows = np.asarray(rows, dtype=table.dtype).reshape(-1, table.shape[1])
+        old = len(table)
+        new_ids = np.arange(old, old + len(rows), dtype=np.int64)
+        if len(rows) == 0:
+            return new_ids
+        if owners is None:
+            owners = new_ids % self.num_machines
+        else:
+            owners = np.asarray(owners, dtype=np.int64)
+            if len(owners) != len(rows):
+                raise ValueError(
+                    f"grow got {len(owners)} owners for {len(rows)} rows"
+                )
+            if owners.size and (
+                owners.min() < 0 or owners.max() >= self.num_machines
+            ):
+                raise ValueError("grow owners contain machine ids out of range")
+        self._tables[kind] = np.concatenate([table, rows])
+        self._owners[kind] = np.concatenate([self._owners[kind], owners])
+        return new_ids
+
     # ------------------------------------------------------------ bookkeeping
 
     def split_local_remote(

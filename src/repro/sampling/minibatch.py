@@ -80,6 +80,54 @@ class EpochSampler:
         positives = self.graph.triples[idx]
         return self.negative_sampler.corrupt(positives)
 
+    # -------------------------------------------------------------- streaming
+
+    def apply_update(
+        self, new_graph: KnowledgeGraph, keep_mask: np.ndarray | None = None
+    ) -> None:
+        """Swap in a mutated local subgraph without breaking the epoch walk.
+
+        Online ingestion (:mod:`repro.stream`) removes some of this
+        worker's triples and appends new ones.  ``keep_mask`` flags which
+        of the *old* triples survive (``None`` = all); ``new_graph`` holds
+        the surviving rows first (in original order) followed by the
+        appended rows, over possibly larger vocabularies.
+
+        The in-flight epoch is preserved deterministically: surviving
+        not-yet-consumed positions keep their shuffled order (remapped to
+        the new row indices), consumed positions stay consumed, and the
+        appended rows join the walk at the end of the current epoch — the
+        next reshuffle mixes them in fully.  No RNG draws are consumed, so
+        an update-free stream leaves the sample sequence bit-identical.
+        """
+        old_n = self.graph.num_triples
+        self.graph = new_graph
+        self.negative_sampler.resize(new_graph.num_entities)
+        if keep_mask is None:
+            keep_mask = np.ones(old_n, dtype=bool)
+        else:
+            keep_mask = np.asarray(keep_mask, dtype=bool)
+            if len(keep_mask) != old_n:
+                raise ValueError(
+                    f"keep_mask has {len(keep_mask)} entries for {old_n} triples"
+                )
+        if len(self._order) == 0:
+            # First epoch not started yet; next_batch() reshuffles lazily.
+            return
+        # Old row index -> new row index for survivors (-1 for deleted).
+        new_index = np.cumsum(keep_mask, dtype=np.int64) - 1
+        new_index[~keep_mask] = -1
+        consumed = self._order[: self._cursor]
+        pending = self._order[self._cursor :]
+        consumed = new_index[consumed]
+        consumed = consumed[consumed >= 0]
+        pending = new_index[pending]
+        pending = pending[pending >= 0]
+        n_kept = int(keep_mask.sum())
+        appended = np.arange(n_kept, new_graph.num_triples, dtype=np.int64)
+        self._order = np.concatenate([consumed, pending, appended])
+        self._cursor = len(consumed)
+
     def prefetch(self, count: int) -> list[MiniBatch]:
         """Produce the next ``count`` batches eagerly (Algorithm 1's input).
 

@@ -170,6 +170,30 @@ class NegativeSampler:
             self._resample_false_negatives(batch)
         return batch
 
+    def resize(
+        self, num_entities: int, filter_graph: KnowledgeGraph | None = None
+    ) -> None:
+        """Grow the corruption pool to ``num_entities`` ids.
+
+        Online ingestion (:mod:`repro.stream`) introduces new entities;
+        after a resize, freshly-drawn corruptions may hit the new ids.  The
+        pool can only grow — shrinking would invalidate ids already handed
+        out.  Passing ``filter_graph`` also refreshes the false-negative
+        filter so newly-inserted true triples stop being drawn as
+        negatives.  No RNG draws are consumed, so resizing to the *same*
+        size with no new filter is a no-op for determinism.
+        """
+        check_positive("num_entities", num_entities)
+        if num_entities < self.num_entities:
+            raise ValueError(
+                f"corruption pool can only grow: {self.num_entities} -> "
+                f"{num_entities}"
+            )
+        self.num_entities = num_entities
+        if filter_graph is not None:
+            self._filter = filter_graph.triple_set()
+            self._filter_index = filter_graph.triple_index()
+
     # ---------------------------------------------------------------- private
 
     def _resample_false_negatives(self, batch: MiniBatch, retries: int = 10) -> None:

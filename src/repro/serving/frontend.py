@@ -103,6 +103,28 @@ class ServingFrontend:
         active = tracer if tracer is not None else get_tracer()
         self.trace = active.scope(f"serving@{machine}", self.clock)
 
+    # ------------------------------------------------------------- warm start
+
+    def warm_from(self, cache) -> None:
+        """Adopt a trainer's hot-embedding membership as the serving cache.
+
+        The streaming handoff: an :class:`~repro.stream.ingest.OnlineTrainer`
+        that tracked a drifting workload leaves its workers' hot tables
+        holding exactly the currently-hot ids — pinning that membership
+        here means the serving tier starts warm on the distribution the
+        stream was last serving, instead of re-profiling from scratch.
+
+        ``cache`` is a :class:`~repro.cache.sync.HotEmbeddingCache` (or
+        anything exposing ``cached_ids(kind)``).
+        """
+        from repro.cache.filtering import HotSet
+
+        hot = HotSet(
+            entities=np.asarray(cache.cached_ids("entity"), dtype=np.int64),
+            relations=np.asarray(cache.cached_ids("relation"), dtype=np.int64),
+        )
+        self.cache = ServingCache.static(hot)
+
     # -------------------------------------------------------------- event loop
 
     def run(self, queries: Iterable[Query], label: str | None = None) -> ServingReport:

@@ -1,0 +1,33 @@
+"""Streaming KGE subsystem: online graph updates and drift-adaptive caching.
+
+Public surface:
+
+* :mod:`repro.stream.events` — seeded event streams + drift profiles.
+* :mod:`repro.stream.ingest` — :class:`OnlineTrainer` (test-then-train).
+* :mod:`repro.stream.drift` — :class:`DriftDetector` and the ADAPTIVE
+  cache strategy (:class:`AdaptiveStale`).
+* :mod:`repro.stream.eval` — prequential link-prediction evaluation.
+"""
+
+from repro.stream.drift import AdaptiveStale, DriftDetector
+from repro.stream.eval import PrequentialEvaluator, PrequentialResult
+from repro.stream.events import (
+    DRIFT_PROFILES,
+    EventStream,
+    GraphUpdate,
+    make_stream,
+)
+from repro.stream.ingest import OnlineTrainer, OnlineTrainResult
+
+__all__ = [
+    "AdaptiveStale",
+    "DriftDetector",
+    "DRIFT_PROFILES",
+    "EventStream",
+    "GraphUpdate",
+    "make_stream",
+    "OnlineTrainer",
+    "OnlineTrainResult",
+    "PrequentialEvaluator",
+    "PrequentialResult",
+]

@@ -1,0 +1,364 @@
+"""Deterministic event streams of timestamped knowledge-graph updates.
+
+The streaming subsystem's workload generator: a seeded sequence of
+:class:`GraphUpdate` records (triple inserts, triple deletes, vocabulary
+growth) that an :class:`~repro.stream.ingest.OnlineTrainer` applies at
+iteration boundaries.  Everything is derived from one
+``numpy.random.Generator``, so the same ``(graph, profile, seed)`` triple
+always produces a byte-identical stream — the substrate of the
+drift-determinism tests.
+
+Drift profiles
+--------------
+``none``
+    Empty stream; online training degenerates to static training (and the
+    determinism tests assert it does so *bit-for-bit*).
+``rotation``
+    Hot-set rotation / churn: inserts concentrate on a rotating subset of
+    entities (and a rotating relation preference), while earlier hot
+    triples are deleted.  Periodically mints brand-new entities that join
+    the hot set — the cold-start churn a constant hot set (CPS) can never
+    cache.
+``zipf-shift``
+    The Zipf exponent of the insert distribution glides from ``start`` to
+    ``end`` over the stream: gradual, global drift.
+``burst``
+    Mostly-quiet stream with occasional large insert bursts over a freshly
+    re-drawn hot set — abrupt drift.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_fraction, check_positive
+
+_EMPTY_TRIPLES = np.empty((0, 3), dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class GraphUpdate:
+    """One timestamped batch of graph mutations.
+
+    Attributes
+    ----------
+    step:
+        Global training iteration *before* which the update applies (the
+        ingest loop applies every update with ``step <= current``).
+    inserts:
+        ``(n, 3)`` triples to append.  May reference ids beyond the
+        pre-update vocabulary — ``num_entities``/``num_relations`` state
+        the post-update sizes.
+    deletes:
+        ``(m, 3)`` triples to remove by value (absent triples are ignored,
+        so generators may be optimistic about what is still present).
+    num_entities, num_relations:
+        Vocabulary sizes after this update (monotonically non-decreasing
+        along a stream).
+    """
+
+    step: int
+    inserts: np.ndarray
+    deletes: np.ndarray
+    num_entities: int
+    num_relations: int
+
+    @property
+    def size(self) -> int:
+        return len(self.inserts) + len(self.deletes)
+
+
+@dataclass
+class EventStream:
+    """An ordered, seeded sequence of :class:`GraphUpdate` records."""
+
+    updates: list[GraphUpdate] = field(default_factory=list)
+    profile: str = "none"
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+    def __iter__(self) -> Iterator[GraphUpdate]:
+        return iter(self.updates)
+
+    @property
+    def total_inserts(self) -> int:
+        return sum(len(u.inserts) for u in self.updates)
+
+    @property
+    def total_deletes(self) -> int:
+        return sum(len(u.deletes) for u in self.updates)
+
+    def fingerprint(self) -> str:
+        """SHA-256 over every update's bytes (the determinism oracle)."""
+        h = hashlib.sha256()
+        for u in self.updates:
+            h.update(
+                f"{u.step}:{u.num_entities}:{u.num_relations}:".encode()
+            )
+            h.update(np.ascontiguousarray(u.inserts, dtype=np.int64).tobytes())
+            h.update(np.ascontiguousarray(u.deletes, dtype=np.int64).tobytes())
+        return h.hexdigest()
+
+
+# --------------------------------------------------------------------- helpers
+
+
+def _zipf_weights(n: int, exponent: float) -> np.ndarray:
+    """Unnormalised Zipf weights ``rank^-exponent`` over ``n`` items."""
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    w = ranks ** (-exponent)
+    return w / w.sum()
+
+
+def _draw_triples(
+    rng: np.random.Generator,
+    count: int,
+    head_pool: np.ndarray,
+    head_weights: np.ndarray | None,
+    num_entities: int,
+    rel_pool: np.ndarray,
+    rel_weights: np.ndarray | None,
+) -> np.ndarray:
+    """``count`` triples with Zipf-weighted heads/relations, uniform tails."""
+    heads = rng.choice(head_pool, size=count, p=head_weights)
+    rels = rng.choice(rel_pool, size=count, p=rel_weights)
+    tails = rng.integers(0, num_entities, size=count)
+    return np.stack(
+        [
+            heads.astype(np.int64),
+            rels.astype(np.int64),
+            tails.astype(np.int64),
+        ],
+        axis=1,
+    )
+
+
+# ------------------------------------------------------------------ profiles
+
+
+def no_drift(
+    graph: KnowledgeGraph, steps: int, seed: int | np.random.Generator = 0
+) -> EventStream:
+    """The empty stream (static training)."""
+    del graph, steps, seed
+    return EventStream(updates=[], profile="none")
+
+
+def hot_set_rotation(
+    graph: KnowledgeGraph,
+    steps: int,
+    seed: int | np.random.Generator = 0,
+    interval: int = 8,
+    inserts_per_update: int = 64,
+    delete_fraction: float = 0.5,
+    hot_fraction: float = 0.1,
+    rotate_fraction: float = 0.25,
+    new_entities_every: int = 4,
+    new_entities: int = 4,
+    concentration: float = 1.2,
+) -> EventStream:
+    """Rotating hot set with churn and periodic vocabulary growth.
+
+    Every ``interval`` steps, ``inserts_per_update`` new triples arrive
+    whose heads are Zipf-concentrated on the *current* hot entity subset
+    (``hot_fraction`` of the vocabulary).  The subset rotates by
+    ``rotate_fraction`` of its size each update, earlier hot inserts are
+    deleted at ``delete_fraction``, and every ``new_entities_every``-th
+    update mints ``new_entities`` fresh entities that enter the hot set
+    immediately.
+    """
+    check_positive("interval", interval)
+    check_positive("inserts_per_update", inserts_per_update)
+    check_fraction("delete_fraction", delete_fraction)
+    check_fraction("hot_fraction", hot_fraction)
+    check_fraction("rotate_fraction", rotate_fraction)
+    rng = make_rng(seed)
+    num_entities = graph.num_entities
+    num_relations = graph.num_relations
+    perm = rng.permutation(num_entities)
+    rel_perm = rng.permutation(num_relations)
+    hot_size = max(4, int(round(num_entities * hot_fraction)))
+    rotate_by = max(1, int(round(hot_size * rotate_fraction)))
+    offset = 0
+    live_pool: list[np.ndarray] = []  # earlier hot inserts, delete candidates
+    updates: list[GraphUpdate] = []
+    for u, step in enumerate(range(interval, steps + 1, interval)):
+        if new_entities_every and (u + 1) % new_entities_every == 0:
+            fresh = np.arange(
+                num_entities, num_entities + new_entities, dtype=np.int64
+            )
+            num_entities += new_entities
+            perm = np.concatenate([fresh, perm])  # new ids become hottest
+        hot = np.take(perm, (offset + np.arange(hot_size)) % len(perm))
+        offset = (offset + rotate_by) % len(perm)
+        hot_rels = np.take(
+            rel_perm,
+            (u + np.arange(max(1, len(rel_perm) // 2))) % len(rel_perm),
+        )
+        inserts = _draw_triples(
+            rng,
+            inserts_per_update,
+            hot,
+            _zipf_weights(len(hot), concentration),
+            num_entities,
+            hot_rels,
+            _zipf_weights(len(hot_rels), concentration),
+        )
+        deletes = _EMPTY_TRIPLES
+        if live_pool and delete_fraction > 0:
+            stale = live_pool.pop(0)
+            k = int(round(len(stale) * delete_fraction))
+            if k:
+                pick = rng.choice(len(stale), size=k, replace=False)
+                deletes = stale[np.sort(pick)]
+        live_pool.append(inserts)
+        updates.append(
+            GraphUpdate(
+                step=step,
+                inserts=inserts,
+                deletes=deletes,
+                num_entities=num_entities,
+                num_relations=num_relations,
+            )
+        )
+    return EventStream(updates=updates, profile="rotation")
+
+
+def zipf_shift(
+    graph: KnowledgeGraph,
+    steps: int,
+    seed: int | np.random.Generator = 0,
+    interval: int = 8,
+    inserts_per_update: int = 64,
+    start: float = 1.5,
+    end: float = 0.3,
+) -> EventStream:
+    """Gradual drift: the insert head distribution's Zipf exponent glides
+    from ``start`` (peaked) to ``end`` (nearly uniform) over the stream."""
+    check_positive("interval", interval)
+    check_positive("inserts_per_update", inserts_per_update)
+    rng = make_rng(seed)
+    perm = rng.permutation(graph.num_entities)
+    rel_pool = np.arange(graph.num_relations, dtype=np.int64)
+    steps_list = list(range(interval, steps + 1, interval))
+    updates: list[GraphUpdate] = []
+    for u, step in enumerate(steps_list):
+        frac = u / max(1, len(steps_list) - 1)
+        exponent = start + (end - start) * frac
+        inserts = _draw_triples(
+            rng,
+            inserts_per_update,
+            perm,
+            _zipf_weights(len(perm), exponent),
+            graph.num_entities,
+            rel_pool,
+            None,
+        )
+        updates.append(
+            GraphUpdate(
+                step=step,
+                inserts=inserts,
+                deletes=_EMPTY_TRIPLES,
+                num_entities=graph.num_entities,
+                num_relations=graph.num_relations,
+            )
+        )
+    return EventStream(updates=updates, profile="zipf-shift")
+
+
+def burst(
+    graph: KnowledgeGraph,
+    steps: int,
+    seed: int | np.random.Generator = 0,
+    interval: int = 8,
+    inserts_per_update: int = 128,
+    quiet_fraction: float = 0.125,
+    burst_probability: float = 0.2,
+    concentration: float = 1.5,
+) -> EventStream:
+    """Bursty arrival: small trickle punctuated by concentrated bursts,
+    each burst over a freshly re-drawn hot subset (abrupt drift).
+
+    ``inserts_per_update`` (the shared knob of all drifting profiles) is
+    the *burst* size; quiet updates trickle in ``quiet_fraction`` of it.
+    """
+    check_positive("interval", interval)
+    check_positive("inserts_per_update", inserts_per_update)
+    check_fraction("quiet_fraction", quiet_fraction)
+    check_fraction("burst_probability", burst_probability)
+    quiet_inserts = max(1, int(round(inserts_per_update * quiet_fraction)))
+    burst_inserts = inserts_per_update
+    rng = make_rng(seed)
+    rel_pool = np.arange(graph.num_relations, dtype=np.int64)
+    all_entities = np.arange(graph.num_entities, dtype=np.int64)
+    updates: list[GraphUpdate] = []
+    for step in range(interval, steps + 1, interval):
+        bursting = rng.random() < burst_probability
+        if bursting:
+            hot = rng.permutation(graph.num_entities)[
+                : max(4, graph.num_entities // 10)
+            ]
+            inserts = _draw_triples(
+                rng,
+                burst_inserts,
+                hot,
+                _zipf_weights(len(hot), concentration),
+                graph.num_entities,
+                rel_pool,
+                None,
+            )
+        else:
+            inserts = _draw_triples(
+                rng,
+                quiet_inserts,
+                all_entities,
+                None,
+                graph.num_entities,
+                rel_pool,
+                None,
+            )
+        updates.append(
+            GraphUpdate(
+                step=step,
+                inserts=inserts,
+                deletes=_EMPTY_TRIPLES,
+                num_entities=graph.num_entities,
+                num_relations=graph.num_relations,
+            )
+        )
+    return EventStream(updates=updates, profile="burst")
+
+
+#: profile name -> generator.  Every generator takes ``(graph, steps,
+#: seed, **knobs)`` and returns an :class:`EventStream`.
+DRIFT_PROFILES: dict[str, Callable[..., EventStream]] = {
+    "none": no_drift,
+    "rotation": hot_set_rotation,
+    "zipf-shift": zipf_shift,
+    "burst": burst,
+}
+
+
+def make_stream(
+    profile: str,
+    graph: KnowledgeGraph,
+    steps: int,
+    seed: int | np.random.Generator = 0,
+    **knobs,
+) -> EventStream:
+    """Build the event stream for ``profile`` (see :data:`DRIFT_PROFILES`)."""
+    try:
+        generator = DRIFT_PROFILES[profile]
+    except KeyError:
+        raise KeyError(
+            f"unknown drift profile {profile!r}; expected one of "
+            f"{sorted(DRIFT_PROFILES)}"
+        ) from None
+    return generator(graph, steps, seed, **knobs)

@@ -1,0 +1,372 @@
+"""Online training: interleave graph ingestion with training steps.
+
+:class:`OnlineTrainer` wraps any parameter-server trainer
+(:class:`~repro.core.trainer.HETKGTrainer` and its DGL-KE subclass) and
+drives the same round-robin ``worker.step()`` loop as the static
+``train()``, applying the due :class:`~repro.stream.events.GraphUpdate`
+records at iteration boundaries.  Each applied update
+
+* grows the PS shards (and, lazily, the server optimizer's accumulators)
+  for new entity/relation ids, cold-started through the model's own init
+  scheme from a dedicated ingest RNG;
+* routes inserted triples to the machine owning their head entity and
+  splices them into each worker's epoch walk
+  (:meth:`~repro.sampling.minibatch.EpochSampler.apply_update`) without
+  consuming training randomness;
+* evicts cache rows whose ids were touched by deletions
+  (:meth:`~repro.cache.sync.HotEmbeddingCache.invalidate_ids`);
+* charges the delivery and cold-start traffic through the trainer's
+  :class:`~repro.ps.network.NetworkModel` and advances the receiving
+  machines' clocks under the ``"ingest"`` category, with obs spans to
+  match;
+* feeds the inserts to the prequential evaluator *before* they are
+  trained on (test-then-train).
+
+The empty-stream invariant: with ``drift="none"`` no ingest code path
+runs, no extra RNG is drawn, and the step sequence equals the static
+trainer's — the run is bit-identical (asserted by the golden tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.trainer import HETKGTrainer
+from repro.kg.graph import HEAD, REL, TAIL, KnowledgeGraph, TripleIndex
+from repro.ps.network import BYTES_PER_ELEMENT, CommRecord
+from repro.stream.drift import AdaptiveStale
+from repro.stream.eval import PrequentialEvaluator, PrequentialResult
+from repro.stream.events import EventStream, GraphUpdate
+from repro.utils.rng import make_rng
+
+#: Wire size of one (h, r, t) triple record in an ingestion message.
+TRIPLE_RECORD_BYTES = 24  # 3 x int64
+
+
+@dataclass
+class OnlineTrainResult:
+    """Everything one online run produced."""
+
+    system: str
+    steps: int
+    sim_time: float
+    compute_time: float
+    communication_time: float
+    ingest_time: float
+    comm_totals: CommRecord
+    cache_hit_ratio: float
+    mean_loss: float
+    prequential: PrequentialResult
+    updates_applied: int = 0
+    triples_inserted: int = 0
+    triples_deleted: int = 0
+    entities_added: int = 0
+    relations_added: int = 0
+    cache_rows_invalidated: int = 0
+    adaptive_rebuilds: int = 0
+    extra: dict[str, float] = field(default_factory=dict)
+
+
+class OnlineTrainer:
+    """Test-then-train loop over a trainer and an event stream.
+
+    Parameters
+    ----------
+    trainer:
+        A (not yet set up) PS-based trainer; its config decides the cache
+        strategy, so the same ``OnlineTrainer`` serves DGL-KE, CPS, DPS
+        and ADAPTIVE runs.
+    stream:
+        The seeded update sequence (``EventStream(updates=[])`` for static
+        behaviour).
+    eval_every:
+        Evaluate the prequential holdout every this many steps (``None``
+        = once at the end, if the stream delivered any triples).
+    eval_window / eval_candidates / eval_queries:
+        Sliding-holdout evaluator budget (see
+        :class:`~repro.stream.eval.PrequentialEvaluator`).
+    """
+
+    def __init__(
+        self,
+        trainer: HETKGTrainer,
+        stream: EventStream,
+        eval_every: int | None = None,
+        eval_window: int = 256,
+        eval_candidates: int | None = 100,
+        eval_queries: int = 50,
+    ) -> None:
+        self.trainer = trainer
+        self.stream = stream
+        self.eval_every = eval_every
+        self.graph: KnowledgeGraph | None = None
+        self._cursor = 0
+        self._ingest_rng = make_rng(trainer.config.seed + 104729)
+        self.evaluator = PrequentialEvaluator(
+            trainer.model,
+            window=eval_window,
+            num_candidates=eval_candidates,
+            max_queries=eval_queries,
+            seed=trainer.config.seed + 13,
+        )
+        # Counters
+        self.updates_applied = 0
+        self.triples_inserted = 0
+        self.triples_deleted = 0
+        self.entities_added = 0
+        self.relations_added = 0
+        self.cache_rows_invalidated = 0
+
+    # -------------------------------------------------------------- ingestion
+
+    def _grow_vocab(self, update: GraphUpdate) -> CommRecord:
+        """Append embedding rows for new ids; returns the cold-start bytes
+        per owning machine folded into one record (caller charges it)."""
+        trainer = self.trainer
+        assert trainer.server is not None and self.graph is not None
+        store = trainer.server.store
+        comm = CommRecord()
+        n_new_ent = update.num_entities - self.graph.num_entities
+        n_new_rel = update.num_relations - self.graph.num_relations
+        byte_scale = trainer.config.byte_scale
+        if n_new_ent > 0:
+            rows = trainer.model.init_entities(n_new_ent, self._ingest_rng)
+            store.grow("entity", rows)
+            comm.remote_bytes += int(
+                round(rows.size * BYTES_PER_ELEMENT * byte_scale)
+            )
+            self.entities_added += n_new_ent
+        if n_new_rel > 0:
+            rows = trainer.model.init_relations(n_new_rel, self._ingest_rng)
+            store.grow("relation", rows)
+            comm.remote_bytes += int(
+                round(rows.size * BYTES_PER_ELEMENT * byte_scale)
+            )
+            self.relations_added += n_new_rel
+        if comm.remote_bytes:
+            comm.remote_messages = 1
+        return comm
+
+    def _apply_update(self, update: GraphUpdate) -> None:
+        trainer = self.trainer
+        assert trainer.server is not None and self.graph is not None
+        store = trainer.server.store
+
+        # Test-then-train: the holdout sees the inserts before any worker
+        # trains on them.
+        if len(update.inserts):
+            self.evaluator.observe(update.inserts)
+
+        init_comm = self._grow_vocab(update)
+
+        inserts = np.asarray(update.inserts, dtype=np.int64).reshape(-1, 3)
+        deletes = np.asarray(update.deletes, dtype=np.int64).reshape(-1, 3)
+        n_ent, n_rel = update.num_entities, update.num_relations
+        drop_index = (
+            TripleIndex(deletes, n_ent, n_rel) if len(deletes) else None
+        )
+        affected_entities = (
+            np.unique(np.concatenate([deletes[:, HEAD], deletes[:, TAIL]]))
+            if len(deletes)
+            else np.empty(0, dtype=np.int64)
+        )
+        affected_relations = (
+            np.unique(deletes[:, REL])
+            if len(deletes)
+            else np.empty(0, dtype=np.int64)
+        )
+
+        # Route inserts to the machine owning the head entity (the
+        # co-located layout streaming writes follow too).
+        by_machine = {w.machine: w for w in trainer.workers}
+        machines = sorted(by_machine)
+        if len(inserts):
+            owners = store.owners("entity", inserts[:, HEAD])
+            owners = np.where(
+                np.isin(owners, machines),
+                owners,
+                np.asarray(machines, dtype=np.int64)[
+                    owners % len(machines)
+                ],
+            )
+        else:
+            owners = np.empty(0, dtype=np.int64)
+
+        deleted_total = 0
+        for machine in machines:
+            worker = by_machine[machine]
+            local = worker.sampler.graph
+            local_inserts = inserts[owners == machine] if len(inserts) else inserts
+            if drop_index is not None and local.num_triples:
+                t = local.triples
+                keep = ~drop_index.contains_batch(
+                    t[:, HEAD], t[:, REL], t[:, TAIL]
+                )
+            else:
+                keep = np.ones(local.num_triples, dtype=bool)
+            deleted_here = int((~keep).sum())
+            deleted_total += deleted_here
+            if (
+                len(local_inserts) == 0
+                and deleted_here == 0
+                and n_ent == local.num_entities
+                and n_rel == local.num_relations
+            ):
+                continue
+            with worker.trace.span(
+                "ingest.apply", "ingest",
+                inserts=len(local_inserts), deletes=deleted_here,
+            ):
+                survivors = local.triples[keep]
+                new_triples = (
+                    np.concatenate([survivors, local_inserts])
+                    if len(local_inserts)
+                    else survivors
+                )
+                new_local = KnowledgeGraph(
+                    new_triples, num_entities=n_ent, num_relations=n_rel
+                )
+                worker.sampler.apply_update(new_local, keep_mask=keep)
+                # Stale cache rows: ids whose graph structure was deleted.
+                if worker.cache is not None:
+                    evicted = worker.cache.invalidate_ids(
+                        "entity", affected_entities
+                    )
+                    evicted += worker.cache.invalidate_ids(
+                        "relation", affected_relations
+                    )
+                    self.cache_rows_invalidated += evicted
+                    if isinstance(worker.strategy, AdaptiveStale):
+                        worker.strategy.drop_ids(
+                            affected_entities, affected_relations
+                        )
+                # Delivery traffic: the update's triple records reach this
+                # machine from outside the cluster.
+                record_count = len(local_inserts) + deleted_here
+                comm = CommRecord(
+                    remote_bytes=record_count * TRIPLE_RECORD_BYTES,
+                    remote_messages=1 if record_count else 0,
+                )
+                cost = trainer.network.charge(comm)
+                worker.clock.advance(cost, "ingest")
+            worker.trace.count("worker.ingests")
+
+        # Cold-start rows land on their owning shards; charge the slowest
+        # (first) machine's clock — one write fan-out per update.
+        if init_comm.total_bytes and machines:
+            worker = by_machine[machines[0]]
+            cost = trainer.network.charge(init_comm)
+            worker.clock.advance(cost, "ingest")
+
+        # Refresh the false-negative filter against the post-update graph.
+        self.graph = self.graph.mutated(
+            inserts=inserts if len(inserts) else None,
+            deletes=deletes if len(deletes) else None,
+            num_entities=n_ent,
+            num_relations=n_rel,
+        )
+        if trainer.config.filter_false_negatives:
+            for worker in trainer.workers:
+                worker.sampler.negative_sampler.resize(
+                    n_ent, filter_graph=self.graph
+                )
+
+        self.updates_applied += 1
+        self.triples_inserted += len(inserts)
+        self.triples_deleted += deleted_total
+
+    # ------------------------------------------------------------------ train
+
+    def train(self, train_graph: KnowledgeGraph) -> OnlineTrainResult:
+        """Run ``config.epochs`` x (initial batches-per-epoch) steps,
+        applying stream updates as their timestamps come due.
+
+        The step budget is fixed up front from the *initial* graph so the
+        empty-stream run performs exactly the static trainer's step
+        sequence; a growing graph trains more triples per epoch walk, not
+        more steps.
+        """
+        trainer = self.trainer
+        trainer.setup(train_graph)
+        assert trainer.server is not None
+        self.graph = train_graph
+        cfg = trainer.config
+        iterations = max(w.sampler.batches_per_epoch for w in trainer.workers)
+        total_steps = cfg.epochs * iterations
+
+        comm_base = trainer.network.totals.copy()
+        clock_base = {
+            w.machine: w.clock.copy() for w in trainer.workers
+        }
+
+        for worker in trainer.workers:
+            worker.start()
+
+        losses: list[float] = []
+        for step in range(1, total_steps + 1):
+            while (
+                self._cursor < len(self.stream.updates)
+                and self.stream.updates[self._cursor].step <= step
+            ):
+                self._apply_update(self.stream.updates[self._cursor])
+                self._cursor += 1
+            for worker in trainer.workers:
+                losses.append(worker.step())
+            if (
+                self.eval_every is not None
+                and step % self.eval_every == 0
+                and self.evaluator.holdout_size
+            ):
+                self._evaluate(step)
+        if self.eval_every is None and self.evaluator.holdout_size:
+            self._evaluate(total_steps)
+
+        workers = trainer.workers
+        elapsed = {
+            w.machine: w.clock.elapsed - clock_base[w.machine].elapsed
+            for w in workers
+        }
+        slowest = max(workers, key=lambda w: elapsed[w.machine])
+        base = clock_base[slowest.machine]
+        hit_ratios = [w.cache_hit_ratio() for w in workers]
+        rebuilds = sum(
+            w.strategy.rebuilds
+            for w in workers
+            if isinstance(w.strategy, AdaptiveStale)
+        )
+        return OnlineTrainResult(
+            system=trainer.system_name,
+            steps=total_steps,
+            sim_time=elapsed[slowest.machine],
+            compute_time=slowest.clock.category("compute")
+            - base.category("compute"),
+            communication_time=slowest.clock.category("communication")
+            - base.category("communication"),
+            ingest_time=slowest.clock.category("ingest")
+            - base.category("ingest"),
+            comm_totals=trainer.network.totals.difference(comm_base),
+            cache_hit_ratio=float(np.mean(hit_ratios)) if hit_ratios else 0.0,
+            mean_loss=float(np.mean(losses)) if losses else 0.0,
+            prequential=self.evaluator.result,
+            updates_applied=self.updates_applied,
+            triples_inserted=self.triples_inserted,
+            triples_deleted=self.triples_deleted,
+            entities_added=self.entities_added,
+            relations_added=self.relations_added,
+            cache_rows_invalidated=self.cache_rows_invalidated,
+            adaptive_rebuilds=rebuilds,
+        )
+
+    # ------------------------------------------------------------------ evals
+
+    def _evaluate(self, step: int) -> None:
+        assert self.trainer.server is not None and self.graph is not None
+        store = self.trainer.server.store
+        self.evaluator.evaluate(
+            step,
+            store.table("entity"),
+            store.table("relation"),
+            num_relations=self.graph.num_relations,
+        )
