@@ -51,6 +51,77 @@ def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_tier_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backing",
+        default="resident",
+        choices=["resident", "tiered"],
+        help="embedding table backing: resident (dense in-memory, default) "
+        "or tiered (hot/warm/cold rows under --memory-budget; see "
+        "docs/memory.md)",
+    )
+    parser.add_argument(
+        "--memory-budget",
+        default=None,
+        metavar="BYTES",
+        help="resident-byte budget for --backing tiered, e.g. '64M' or "
+        "'1G' (default: unlimited)",
+    )
+    parser.add_argument(
+        "--tier-block-rows",
+        type=int,
+        default=64,
+        metavar="N",
+        help="rows per residency block (tiered backing promotion granularity)",
+    )
+    parser.add_argument(
+        "--tier-cold-codec",
+        default="int8",
+        choices=["none", "fp16", "int8"],
+        help="quantizer for long-idle blocks (tiered backing)",
+    )
+    parser.add_argument(
+        "--tier-dir",
+        default=None,
+        metavar="DIR",
+        help="scratch directory for tiered memmap shards "
+        "(default: private temp dir, removed on exit)",
+    )
+
+
+def _tier_config(args: argparse.Namespace):
+    """Build a TierConfig from CLI flags (None for the resident backing)."""
+    if args.backing != "tiered":
+        return None
+    from repro.tier import TierConfig, TierPolicy
+
+    return TierConfig(
+        budget=args.memory_budget,
+        policy=TierPolicy(
+            block_rows=args.tier_block_rows, cold_codec=args.tier_cold_codec
+        ),
+        directory=args.tier_dir,
+    )
+
+
+def _print_memory_report(report: dict) -> None:
+    from repro.tier.budget import format_bytes
+
+    tables = report.get("tables", {})
+    per_kind = ", ".join(
+        f"{kind}: hot {t.get('hot_blocks', 0)}/cold {t.get('cold_blocks', 0)}"
+        f"/warm {t.get('warm_blocks', 0)} blocks, hit {t.get('hit_ratio', 0.0):.3f}"
+        for kind, t in tables.items()
+        if t.get("backing") == "tiered"
+    )
+    print(
+        f"memory: resident {format_bytes(report['resident_bytes'])} of "
+        f"{format_bytes(report['logical_bytes'])} logical "
+        f"(budget {format_bytes(report['budget_bytes'])})"
+        + (f" | {per_kind}" if per_kind else "")
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hetkg",
@@ -140,6 +211,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_flags(train)
     _add_trace_flag(train)
+    _add_tier_flags(train)
 
     serve = sub.add_parser(
         "serve-bench",
@@ -193,6 +265,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--seed", type=int, default=0)
     _add_trace_flag(serve)
+    _add_tier_flags(serve)
 
     stream = sub.add_parser(
         "stream",
@@ -292,6 +365,12 @@ def _train(args: argparse.Namespace) -> int:
     split = split_triples(graph, seed=args.seed)
     print(f"dataset: {source} -> {graph}")
 
+    if args.backing == "tiered" and args.system.lower() == "pbg":
+        print("--backing tiered is not supported for the PBG baseline")
+        return 2
+    if args.memory_budget is not None and args.backing != "tiered":
+        print("--memory-budget requires --backing tiered")
+        return 2
     config = TrainingConfig(
         model=args.model,
         dim=args.dim,
@@ -302,6 +381,11 @@ def _train(args: argparse.Namespace) -> int:
         num_negatives=args.negatives,
         cache_capacity=args.cache_capacity,
         sync_period=args.sync_period,
+        backing=args.backing,
+        memory_budget=args.memory_budget,
+        tier_block_rows=args.tier_block_rows,
+        tier_cold_codec=args.tier_cold_codec,
+        tier_dir=args.tier_dir,
         seed=args.seed,
     )
     fault_plan = None
@@ -348,6 +432,9 @@ def _train(args: argparse.Namespace) -> int:
         )
     )
     print(f"(wall time: {time.time() - start:.1f}s)")
+    if config.backing == "tiered" and result.memory_report:
+        _print_memory_report(result.memory_report)
+        print(f"tier time: {result.tier_time:.3f}s simulated")
     if result.fault_stats:
         interesting = {
             k: v for k, v in result.fault_stats.items() if v
@@ -382,9 +469,16 @@ def _serve_bench(args: argparse.Namespace) -> int:
         num_candidates=args.candidates,
         seed=args.seed + 11,
     )
+    if args.memory_budget is not None and args.backing != "tiered":
+        print("--memory-budget requires --backing tiered")
+        return 2
+    tier_cfg = _tier_config(args)
     if args.checkpoint is not None:
         store = EmbeddingStore.from_checkpoint(
-            args.checkpoint, num_machines=args.machines
+            args.checkpoint,
+            num_machines=args.machines,
+            backing=args.backing,
+            tier=tier_cfg,
         )
         workload = ZipfianWorkload(store.num_entities, store.num_relations, spec)
         print(f"serving checkpoint {args.checkpoint}: {store}")
@@ -394,6 +488,9 @@ def _serve_bench(args: argparse.Namespace) -> int:
         )
         workload = ZipfianWorkload.from_graph(bundle.graph, spec)
         print(f"trained {args.dataset} @ scale {args.scale}: {store}")
+        if args.backing == "tiered":
+            store = store.with_backing("tiered", tier_cfg)
+            print(f"re-tiered for serving: {store.store.tier.budget!r}")
 
     warmup, measured = split_warmup(workload.generate())
     capacity = max(
@@ -439,6 +536,8 @@ def _serve_bench(args: argparse.Namespace) -> int:
         f"p99 {report.latency_p99 * 1e3:.3f} ms | "
         f"hit ratio {report.hit_ratio:.3f}"
     )
+    if args.backing == "tiered":
+        _print_memory_report(store.memory_report())
     return 0
 
 

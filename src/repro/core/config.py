@@ -62,6 +62,21 @@ class TrainingConfig:
         ``num_machines``; 1.0 = nominal).  Models heterogeneous clusters /
         stragglers: a 0.5 entry halves that machine's compute throughput.
 
+    Tiered backing (repro.tier)
+    ---------------------------
+    backing: ``"resident"`` (default, dense in-memory tables — bit-identical
+        to the pre-tiering trainer) or ``"tiered"`` (hot/warm/cold row
+        store under a byte budget; see :mod:`repro.tier` and
+        ``docs/memory.md``).
+    memory_budget: resident-byte budget for the tiered backing — an int, a
+        size string (``"64M"``), or ``None`` for unlimited.  Requires
+        ``backing="tiered"``.
+    tier_block_rows: rows per residency block (promotion granularity).
+    tier_cold_codec: quantizer for long-idle blocks (``"none"``, ``"fp16"``,
+        ``"int8"``); ``"none"`` keeps every non-hot block exact.
+    tier_dir: scratch directory for the memmap shards (``None`` = private
+        temp dir, removed on close).
+
     Hot-embedding cache (HET-KG only)
     ---------------------------------
     cache_strategy: ``"cps"``, ``"dps"``, ``"adaptive"`` (drift-triggered
@@ -118,6 +133,13 @@ class TrainingConfig:
     adaptive_threshold: float = 0.65
     adaptive_decay: float = 0.5
 
+    # tiered backing
+    backing: str = "resident"
+    memory_budget: int | str | None = None
+    tier_block_rows: int = 64
+    tier_cold_codec: str = "int8"
+    tier_dir: str | None = None
+
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -151,6 +173,21 @@ class TrainingConfig:
             check_positive("wire_dim", self.wire_dim)
         check_positive("pbg_partitions", self.pbg_partitions)
         check_in("compression", self.compression, ("none", "fp16", "int8"))
+        check_in("backing", self.backing, ("resident", "tiered"))
+        check_positive("tier_block_rows", self.tier_block_rows)
+        check_in(
+            "tier_cold_codec", self.tier_cold_codec, ("none", "fp16", "int8")
+        )
+        if self.memory_budget is not None:
+            if self.backing != "tiered":
+                raise ValueError(
+                    "memory_budget requires backing='tiered' "
+                    f"(got backing={self.backing!r})"
+                )
+            # Fail fast on malformed size strings; the store re-parses later.
+            from repro.tier.budget import parse_bytes
+
+            parse_bytes(self.memory_budget)
         if self.machine_speeds is not None:
             if len(self.machine_speeds) != self.num_machines:
                 raise ValueError(

@@ -52,16 +52,30 @@ class Telemetry:
     incidents are additionally collected as :class:`FaultEvent` rows in
     :attr:`events` — kept separate from the per-step records so the CSV
     schema and summaries of fault-free runs are unchanged.
+
+    Trainers also snapshot the store's per-tier byte breakdown
+    (``ShardedKVStore.memory_report()``) into :attr:`memory_reports` at
+    the end of each ``train()`` call — again a separate channel, so the
+    per-step CSV schema is untouched.
     """
 
     records: list[IterationRecord] = field(default_factory=list)
     events: list[FaultEvent] = field(default_factory=list)
+    memory_reports: list[dict] = field(default_factory=list)
 
     def add(self, record: IterationRecord) -> None:
         self.records.append(record)
 
     def add_event(self, event: FaultEvent) -> None:
         self.events.append(event)
+
+    def record_memory(self, report: dict) -> None:
+        """Snapshot a store memory report (one per completed train() call)."""
+        self.memory_reports.append(report)
+
+    def latest_memory(self) -> dict:
+        """The most recent memory report (empty dict if none recorded)."""
+        return self.memory_reports[-1] if self.memory_reports else {}
 
     def __len__(self) -> int:
         return len(self.records)

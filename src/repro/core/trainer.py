@@ -66,6 +66,13 @@ class TrainResult:
     #: Fault/recovery counters when a FaultPlan was active (see
     #: :class:`repro.faults.FaultStats.as_dict`; empty for fault-free runs).
     fault_stats: dict[str, float] = field(default_factory=dict)
+    #: Simulated seconds spent moving/(de)quantizing tier data this run
+    #: (0.0 for the resident backing).
+    tier_time: float = 0.0
+    #: ``ShardedKVStore.memory_report()`` taken at the end of the run —
+    #: per-kind/per-tier byte breakdown (plain dicts, picklable for the
+    #: parallel experiment runner).
+    memory_report: dict = field(default_factory=dict)
 
     @property
     def communication_fraction(self) -> float:
@@ -149,11 +156,27 @@ class HETKGTrainer:
         relation_table = self.model.init_relations(
             train_graph.num_relations, self._rng
         )
+        tier_cfg = None
+        if cfg.backing == "tiered":
+            # Imported lazily: resident-backing trainers must not depend on
+            # (or pay import cost for) the tier subsystem.
+            from repro.tier import TierConfig, TierPolicy
+
+            tier_cfg = TierConfig(
+                budget=cfg.memory_budget,
+                policy=TierPolicy(
+                    block_rows=cfg.tier_block_rows,
+                    cold_codec=cfg.tier_cold_codec,
+                ),
+                directory=cfg.tier_dir,
+            )
         store = ShardedKVStore(
             entity_table,
             relation_table,
             self.partition.entity_part,
             cfg.num_machines,
+            backing=cfg.backing,
+            tier=tier_cfg,
         )
         self.server = ParameterServer(
             store,
@@ -227,6 +250,9 @@ class HETKGTrainer:
             self.server.bind_trace(
                 worker.machine, tracer.scope(f"ps@w{worker.machine}", worker.clock)
             )
+        if self.server.store.tier is not None:
+            tier = self.server.store.tier
+            tier.bind_trace(tracer.scope("tier", tier.clock))
 
     def _install_faults(self, faults, checkpoint_every, checkpoint_path, telemetry):
         """Build the chaos layer for this train() call (or tear it down).
@@ -333,6 +359,8 @@ class HETKGTrainer:
         # with a previous run's totals.
         comm_base = self.network.totals.copy()
         clock_base = [w.clock.copy() for w in self.workers]
+        tier = self.server.store.tier
+        tier_base = tier.clock.elapsed if tier is not None else 0.0
 
         for worker in self.workers:
             worker.start()
@@ -394,6 +422,9 @@ class HETKGTrainer:
             )
         if checkpoints is not None:
             fault_stats["checkpoints"] = checkpoints.saves
+        memory_report = self.server.store.memory_report()
+        if telemetry is not None:
+            telemetry.record_memory(memory_report)
         return TrainResult(
             config=cfg,
             system=self.system_name,
@@ -407,6 +438,8 @@ class HETKGTrainer:
             cache_hit_ratio=float(np.mean(hit_ratios)) if hit_ratios else 0.0,
             final_metrics=history.points[-1].metrics if history.points else {},
             fault_stats=fault_stats,
+            tier_time=(tier.clock.elapsed - tier_base) if tier is not None else 0.0,
+            memory_report=memory_report,
         )
 
     # --------------------------------------------------------------- evaluate

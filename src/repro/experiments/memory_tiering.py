@@ -1,0 +1,346 @@
+"""Memory-tiering study: oversubscribed embedding tables (repro.tier).
+
+Every other experiment in this repo keeps its tables resident, which is
+why "Freebase-86m" runs scaled down 1000x.  This experiment turns the
+scaling knob the other way: the full-skew Freebase generator is *upscaled*
+past two million entities and the entity table is served through the
+tiered store (:mod:`repro.tier`) under byte budgets holding far less than
+25% of rows resident.
+
+Three legs:
+
+* **gather sweep** — replay every triple's head/tail gathers through a
+  :class:`~repro.tier.runtime.TierRuntime` at several resident fractions;
+  the steady-state hot hit ratio per fraction is the paper-style
+  hit-rate vs resident-fraction curve.  Under Zipf skew a small budget
+  should absorb *most* traffic (the HET-KG/HMEM-Cache bet).
+* **block-size sweep** — the same traffic at one budget with coarser
+  residency blocks.  The generator permutes hotness across ids, so large
+  blocks average hot rows with cold neighbours and the hit ratio drops:
+  the locality penalty that makes ``tier_block_rows`` a real knob.
+* **training leg** — a small tiered training run: unlimited budget +
+  exact cold codec must be bit-identical to the resident trainer, and an
+  oversubscribed run surfaces its ``memory_report()`` in the table.
+
+The default ``scale=23.3`` puts the generator at ~2.005M entities; CI
+runs the same code at a tiny scale (skew assertions are gated on table
+size, everything else still executes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.telemetry import Telemetry
+from repro.core.trainer import make_trainer
+from repro.experiments.common import (
+    ExperimentResult,
+    base_config,
+    dataset_bundle,
+)
+from repro.kg.datasets import FREEBASE86M_SPEC, generate_dataset
+from repro.kg.graph import HEAD, TAIL
+from repro.tier import TierConfig, TierPolicy, TierRuntime, format_bytes
+from repro.utils.rng import make_rng
+
+#: Resident-fraction sweep points (all < 25% of the entity table).
+RESIDENT_FRACTIONS = (0.05, 0.10, 0.25)
+
+#: Block sizes for the locality sweep (rows per residency block).
+SWEEP_BLOCK_ROWS = (8, 64)
+
+#: Residency block used for the fraction sweep.
+CURVE_BLOCK_ROWS = 8
+
+#: Entity ids gathered per replay batch (a serving/training batch shape).
+GATHER_BATCH = 8192
+
+#: Embedding width of the gather-leg table (kept modest so the 2M-entity
+#: table is a ~256 MB logical footprint on one box).
+GATHER_WIDTH = 16
+
+#: Entity-table size above which the skew assertions are enforced.
+SKEW_ASSERT_MIN_ENTITIES = 100_000
+
+
+def freebase_spec(scale: float):
+    """The upscaled Freebase spec, bounded for single-core generation.
+
+    ``scaled`` alone would also upscale the community count (via
+    ``sqrt(num_entities)``) and the triple count linearly; both drive the
+    generator's structured-tail bookkeeping superlinearly.  The overrides
+    keep hotness skew intact while pinning the community/relation
+    vocabularies and capping triples at ~2.3x the entity count.  The cap
+    must stay well above 1x: the generator's entity-coverage chain has
+    *uniform* heads, so a cap near the entity count would make uniform
+    traffic dominate and flatten the very skew this experiment measures.
+    """
+    spec = FREEBASE86M_SPEC.scaled(scale)
+    return replace(
+        spec,
+        num_communities=min(256, spec.communities),
+        num_relations=min(spec.num_relations, 96),
+        num_triples=min(spec.num_triples, int(spec.num_entities * 2.3) + 64),
+    )
+
+
+def _entity_traffic(graph) -> np.ndarray:
+    """Head/tail ids in triple order — the gather stream a trainer issues."""
+    ids = np.empty(2 * graph.num_triples, dtype=np.int64)
+    ids[0::2] = graph.triples[:, HEAD]
+    ids[1::2] = graph.triples[:, TAIL]
+    return ids
+
+
+def _replay(table, ids: np.ndarray) -> None:
+    for lo in range(0, len(ids), GATHER_BATCH):
+        table.read(ids[lo : lo + GATHER_BATCH])
+
+
+def _measure_fraction(
+    entity_table: np.ndarray,
+    traffic: np.ndarray,
+    fraction: float,
+    block_rows: int,
+) -> dict:
+    """Steady-state tier behaviour for one (budget, block size) point.
+
+    The first replay warms the membership (counting passes promote the
+    hot set); the hit ratio is then measured over a second full replay,
+    so cold-start warm misses do not depress the curve.
+    """
+    logical = entity_table.nbytes
+    budget = max(block_rows * entity_table.shape[1] * 8 + 1, int(fraction * logical))
+    policy = TierPolicy(
+        block_rows=block_rows,
+        pass_rows=min(262_144, max(1024, len(traffic) // 8)),
+        target_hit_rate=1.0,  # always adapt; the curve wants convergence
+        max_evict_per_pass=4096,
+    )
+    runtime = TierRuntime(
+        {"entity": entity_table}, TierConfig(budget=budget, policy=policy)
+    )
+    table = runtime.tables["entity"]
+    try:
+        _replay(table, traffic)  # warm-up: build the hot membership
+        table.rebalance()
+        base = table.stats
+        hot0, access0 = base.hot_rows, base.accesses
+        _replay(table, traffic)  # measured steady-state pass
+        steady_hit = (table.stats.hot_rows - hot0) / max(
+            1, table.stats.accesses - access0
+        )
+        table.rebalance()
+        resident = table.resident_bytes()
+        assert resident <= budget, (
+            f"resident {resident}B exceeds budget {budget}B "
+            f"at fraction {fraction}"
+        )
+        return {
+            "fraction": fraction,
+            "block_rows": block_rows,
+            "budget": budget,
+            "resident": resident,
+            "hot_fraction": table.hot_fraction(),
+            "steady_hit": steady_hit,
+            "tier_seconds": runtime.clock.elapsed,
+            "passes": table.stats.passes,
+            "cold_blocks": table.report()["cold_blocks"],
+        }
+    finally:
+        runtime.close()
+
+
+def _train_leg(epochs: int, seed: int) -> list[dict]:
+    """Small-scale training through the tiered backing.
+
+    Fixed tiny scale regardless of the gather-leg scale: the point is the
+    backing contract (bit-identity unlimited, budget respected when
+    oversubscribed), not training throughput at 2M entities.
+    """
+    bundle = dataset_bundle("fb15k", scale=0.012, seed=seed)
+    config = base_config(
+        dim=8,
+        epochs=epochs,
+        batch_size=64,
+        num_negatives=4,
+        num_machines=2,
+        cache_capacity=256,
+        sync_period=4,
+        seed=seed,
+    )
+    resident = make_trainer("hetkg-d", config)
+    res = resident.train(bundle.split.train)
+
+    exact = make_trainer(
+        "hetkg-d",
+        config.with_overrides(
+            backing="tiered", tier_cold_codec="none", tier_block_rows=32
+        ),
+    )
+    ex = exact.train(bundle.split.train)
+    identical = all(
+        np.array_equal(
+            np.asarray(resident.server.store.table(kind)),
+            np.asarray(exact.server.store.table(kind)),
+        )
+        for kind in ("entity", "relation")
+    ) and res.sim_time == ex.sim_time
+    assert identical, "tiered backing with unlimited budget diverged from resident"
+    exact.server.store.close()
+
+    telemetry = Telemetry()
+    budget = "24K"
+    tight = make_trainer(
+        "hetkg-d",
+        config.with_overrides(
+            backing="tiered", memory_budget=budget, tier_block_rows=16
+        ),
+    )
+    tight_result = tight.train(bundle.split.train, telemetry=telemetry)
+    report = telemetry.latest_memory()
+    assert report["backing"] == "tiered"
+    assert report["resident_bytes"] <= report["budget_bytes"]
+    tight.server.store.close()
+
+    ent = report["tables"]["entity"]
+    return [
+        {
+            "leg": "train",
+            "setting": "unlimited, codec=none",
+            "entities": bundle.graph.num_entities,
+            "budget": "unlimited",
+            "resident": format_bytes(res.memory_report["resident_bytes"])
+            if res.memory_report
+            else "all",
+            "hit": ex.memory_report["tables"]["entity"]["hit_ratio"],
+            "tier_seconds": ex.tier_time,
+            "note": "bit-identical to resident",
+        },
+        {
+            "leg": "train",
+            "setting": f"budget={budget}, block=16",
+            "entities": bundle.graph.num_entities,
+            "budget": format_bytes(report["budget_bytes"]),
+            "resident": format_bytes(report["resident_bytes"]),
+            "hit": ent["hit_ratio"],
+            "tier_seconds": tight_result.tier_time,
+            "note": f"MRR tracked; {ent['passes']} passes",
+        },
+    ]
+
+
+def run_memory_tiering(
+    scale: float = 23.3, epochs: int = 2, seed: int = 0
+) -> ExperimentResult:
+    """Hit-rate vs resident-fraction curves for the tiered store.
+
+    ``scale`` multiplies :data:`FREEBASE86M_SPEC` — the default lands at
+    ~2.005M entities (a ~256 MB logical entity table at width 16) served
+    under budgets of 5/10/25% resident.
+    """
+    spec = freebase_spec(scale)
+    graph = generate_dataset(spec, seed=seed)
+    traffic = _entity_traffic(graph)
+    entity_table = make_rng(seed + 1).normal(
+        0.0, 1.0, size=(graph.num_entities, GATHER_WIDTH)
+    )
+
+    rows: list[list] = []
+    curve: list[tuple[float, float]] = []
+    sweep_points: list[dict] = []
+    for fraction in RESIDENT_FRACTIONS:
+        point = _measure_fraction(entity_table, traffic, fraction, CURVE_BLOCK_ROWS)
+        sweep_points.append(point)
+        curve.append((fraction, point["steady_hit"]))
+        rows.append(
+            [
+                "gather",
+                f"f={fraction:.2f} block={CURVE_BLOCK_ROWS}",
+                graph.num_entities,
+                format_bytes(point["budget"]),
+                format_bytes(point["resident"]),
+                point["steady_hit"],
+                point["tier_seconds"],
+                f"{point['passes']} passes, {point['cold_blocks']} cold blocks",
+            ]
+        )
+
+    block_curve: list[tuple[float, float]] = []
+    for block_rows in SWEEP_BLOCK_ROWS:
+        point = _measure_fraction(entity_table, traffic, 0.10, block_rows)
+        block_curve.append((float(block_rows), point["steady_hit"]))
+        rows.append(
+            [
+                "block-sweep",
+                f"f=0.10 block={block_rows}",
+                graph.num_entities,
+                format_bytes(point["budget"]),
+                format_bytes(point["resident"]),
+                point["steady_hit"],
+                point["tier_seconds"],
+                "",
+            ]
+        )
+
+    hits = [hit for _, hit in curve]
+    assert all(b >= a - 1e-9 for a, b in zip(hits, hits[1:])), (
+        f"hit ratio must not decrease with budget: {curve}"
+    )
+    skew_note = "skew assertions skipped (tiny table)"
+    if graph.num_entities >= SKEW_ASSERT_MIN_ENTITIES:
+        top = dict(zip(RESIDENT_FRACTIONS, hits))
+        assert top[0.25] > 2 * 0.25, (
+            f"Zipf skew should make 25% residency absorb >50% of traffic, "
+            f"got {top[0.25]:.3f}"
+        )
+        assert block_curve[0][1] > block_curve[-1][1], (
+            f"coarse blocks should dilute skew: {block_curve}"
+        )
+        skew_note = (
+            f"asserted: hit@25% = {top[0.25]:.3f} > 2x resident fraction; "
+            f"block={SWEEP_BLOCK_ROWS[0]} beats block={SWEEP_BLOCK_ROWS[-1]} "
+            "at equal budget"
+        )
+
+    for entry in _train_leg(epochs, seed):
+        rows.append(
+            [
+                entry["leg"],
+                entry["setting"],
+                entry["entities"],
+                entry["budget"],
+                entry["resident"],
+                entry["hit"],
+                entry["tier_seconds"],
+                entry["note"],
+            ]
+        )
+
+    return ExperimentResult(
+        experiment_id="memory-tiering",
+        title=f"Tiered store oversubscription ({graph.num_entities:,} entities)",
+        headers=[
+            "leg",
+            "setting",
+            "entities",
+            "budget",
+            "resident",
+            "hit ratio",
+            "tier time (s)",
+            "note",
+        ],
+        rows=rows,
+        series={
+            "hit-rate vs resident fraction": curve,
+            "hit-rate vs block rows (f=0.10)": block_curve,
+        },
+        notes=(
+            "steady-state hit ratio measured over a full second replay after "
+            "a warm-up replay; resident bytes asserted <= budget after every "
+            f"final pass. {skew_note}. Training leg: unlimited-budget tiered "
+            "run asserted bit-identical to the resident trainer."
+        ),
+    )

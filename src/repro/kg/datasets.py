@@ -17,6 +17,7 @@ to :func:`generate_dataset` to shrink/grow any spec proportionally.
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass, replace
 
@@ -55,12 +56,17 @@ class DatasetSpec:
     seed: int = 0
 
     def scaled(self, scale: float) -> "DatasetSpec":
-        """Proportionally resize the spec.  The relation vocabulary shrinks
-        as ``sqrt(scale)`` because real KGs largely keep their relation
-        vocabulary as they grow — this also preserves the relation-heavy
-        communication profile (e.g. PBG's dense-relation cost) at small
-        scale."""
+        """Proportionally resize the spec — down (``scale < 1``) or up
+        (``scale > 1``, e.g. the ``memory-tiering`` experiment's multi-
+        million-entity graphs).  The relation vocabulary shrinks as
+        ``sqrt(scale)`` when shrinking because real KGs largely keep their
+        relation vocabulary as they grow — this also preserves the
+        relation-heavy communication profile (e.g. PBG's dense-relation
+        cost) at small scale; when *up*scaling it is left unchanged for
+        the same reason."""
         check_positive("scale", scale)
+        if not math.isfinite(scale):
+            raise ValueError(f"scale must be finite, got {scale!r}")
         return replace(
             self,
             name=f"{self.name}-x{scale:g}",

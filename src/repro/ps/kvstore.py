@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_in, check_positive
 
 #: Table kinds recognised by the store.
 ENTITY, RELATION = "entity", "relation"
@@ -32,6 +32,16 @@ class ShardedKVStore:
         ``(num_entities,)`` machine id per entity row.
     num_machines:
         Cluster size; relation rows are assigned ``id % num_machines``.
+    backing:
+        ``"resident"`` (default) keeps the dense arrays as-is — bit-identical
+        to the pre-tiering store.  ``"tiered"`` replaces each table with a
+        :class:`~repro.tier.store.TieredTable` (hot/warm/cold residency
+        under a byte budget); the tables still answer every ndarray idiom
+        the optimizers and evaluators use.
+    tier:
+        Optional :class:`~repro.tier.runtime.TierConfig` for the tiered
+        backing (budget, policy, scratch directory).  Ignored when
+        ``backing="resident"``.
     """
 
     def __init__(
@@ -40,8 +50,11 @@ class ShardedKVStore:
         relation_table: np.ndarray,
         entity_owner: np.ndarray,
         num_machines: int,
+        backing: str = "resident",
+        tier=None,
     ) -> None:
         check_positive("num_machines", num_machines)
+        check_in("backing", backing, ("resident", "tiered"))
         entity_owner = np.asarray(entity_owner, dtype=np.int64)
         if len(entity_owner) != len(entity_table):
             raise ValueError(
@@ -53,6 +66,15 @@ class ShardedKVStore:
         ):
             raise ValueError("entity_owner contains machine ids out of range")
         self._tables = {ENTITY: entity_table, RELATION: relation_table}
+        self.backing = backing
+        self.tier = None
+        if backing == "tiered":
+            # Imported lazily: the resident path must not pay for (or
+            # depend on) the tier subsystem.
+            from repro.tier.runtime import TierRuntime
+
+            self.tier = TierRuntime(self._tables, tier)
+            self._tables = dict(self.tier.tables)
         self._owners = {
             ENTITY: entity_owner,
             RELATION: np.arange(len(relation_table), dtype=np.int64) % num_machines,
@@ -117,7 +139,12 @@ class ShardedKVStore:
                 owners.min() < 0 or owners.max() >= self.num_machines
             ):
                 raise ValueError("grow owners contain machine ids out of range")
-        self._tables[kind] = np.concatenate([table, rows])
+        if self.tier is not None:
+            # Tiered tables extend their backing file in place — streaming
+            # growth must not rewrite the whole shard.
+            table.grow(rows)
+        else:
+            self._tables[kind] = np.concatenate([table, rows])
         self._owners[kind] = np.concatenate([self._owners[kind], owners])
         return new_ids
 
@@ -148,5 +175,44 @@ class ShardedKVStore:
         return len(others)
 
     def memory_bytes(self) -> int:
-        """Total embedding storage in bytes (for capacity reports)."""
+        """Total *logical* embedding storage in bytes (for capacity reports).
+
+        Backing-independent: a tiered table reports the bytes its rows
+        would occupy dense, so existing capacity math is unchanged.  Use
+        :meth:`memory_report` for the per-tier resident breakdown.
+        """
         return int(sum(t.nbytes for t in self._tables.values()))
+
+    def resident_bytes(self) -> int:
+        """Bytes actually held in RAM right now (== logical when resident)."""
+        if self.tier is not None:
+            return sum(t.resident_bytes() for t in self._tables.values())
+        return self.memory_bytes()
+
+    def memory_report(self) -> dict:
+        """Per-kind/per-tier byte breakdown for telemetry and reports."""
+        if self.tier is not None:
+            return self.tier.memory_report()
+        tables = {
+            kind: {
+                "backing": "resident",
+                "rows": int(len(table)),
+                "width": int(table.shape[1]),
+                "resident_bytes": int(table.nbytes),
+                "logical_bytes": int(table.nbytes),
+            }
+            for kind, table in sorted(self._tables.items())
+        }
+        total = self.memory_bytes()
+        return {
+            "backing": "resident",
+            "budget_bytes": None,
+            "resident_bytes": total,
+            "logical_bytes": total,
+            "tables": tables,
+        }
+
+    def close(self) -> None:
+        """Release tiered scratch files (no-op for the resident backing)."""
+        if self.tier is not None:
+            self.tier.close()

@@ -56,6 +56,8 @@ class EmbeddingStore:
         path: str | os.PathLike[str],
         num_machines: int = 1,
         entity_owner: np.ndarray | None = None,
+        backing: str = "resident",
+        tier=None,
     ) -> "EmbeddingStore":
         """Load a ``core/checkpoint.py`` archive into a serving store.
 
@@ -67,6 +69,13 @@ class EmbeddingStore:
         entity_owner:
             Optional explicit row->shard map (e.g. the training METIS
             partition).  Defaults to round-robin.
+        backing:
+            ``"resident"`` (default) or ``"tiered"`` — serve a checkpoint
+            larger than the budget by gathering through hot/warm/cold
+            tiers (see :mod:`repro.tier`).
+        tier:
+            Optional :class:`~repro.tier.runtime.TierConfig` for the
+            tiered backing.
         """
         check_positive("num_machines", num_machines)
         with np.load(path) as data:
@@ -82,7 +91,12 @@ class EmbeddingStore:
         if entity_owner is None:
             entity_owner = np.arange(len(entity_table), dtype=np.int64) % num_machines
         store = ShardedKVStore(
-            entity_table, relation_table, entity_owner, num_machines
+            entity_table,
+            relation_table,
+            entity_owner,
+            num_machines,
+            backing=backing,
+            tier=tier,
         )
         return cls(model, store)
 
@@ -97,6 +111,28 @@ class EmbeddingStore:
         if trainer.server is None:
             raise RuntimeError("trainer has no state yet; call setup() or train()")
         return cls(trainer.model, trainer.server.store)
+
+    def with_backing(self, backing: str, tier=None) -> "EmbeddingStore":
+        """A new store over the same embeddings under a different backing.
+
+        Used by ``serve-bench --backing tiered``: re-tier a trained (or
+        loaded) store under a serving-side budget.  Tables are
+        materialized once to seed the new backing; ownership and shard
+        count carry over unchanged.
+        """
+        entity = np.asarray(self.store.table("entity"), dtype=np.float64)
+        relation = np.asarray(self.store.table("relation"), dtype=np.float64)
+        n = len(entity)
+        owners = self.store.owners("entity", np.arange(n, dtype=np.int64))
+        store = ShardedKVStore(
+            entity,
+            relation,
+            owners,
+            self.store.num_machines,
+            backing=backing,
+            tier=tier,
+        )
+        return EmbeddingStore(self.model, store)
 
     # ----------------------------------------------------------------- queries
 
@@ -163,6 +199,10 @@ class EmbeddingStore:
 
     def memory_bytes(self) -> int:
         return self.store.memory_bytes()
+
+    def memory_report(self) -> dict:
+        """Per-kind/per-tier byte breakdown (see ``ShardedKVStore``)."""
+        return self.store.memory_report()
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,155 @@
+"""Byte budgets for tiered storage.
+
+A :class:`MemoryBudget` is a shared ledger: every tiered table registers
+its resident charges (hot block copies, quantized cold blocks) under a
+``"<table>.<tier>"`` key and the ledger enforces that the sum never
+exceeds the configured total.  ``total=None`` means unlimited (every
+block may go hot), which is how the bit-identity tests run.
+
+Budgets are *declared* in human units on the CLI (``--memory-budget 64M``)
+and parsed here; all internal accounting is plain integer bytes.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class BudgetExceededError(RuntimeError):
+    """A tier tried to charge bytes past the configured budget.
+
+    The promotion policy reserves before materializing, so seeing this
+    escape to a caller means tier bookkeeping is broken — it is a bug
+    guard, not a control-flow signal.
+    """
+
+
+_UNITS = {
+    "": 1,
+    "B": 1,
+    "K": 1024,
+    "KB": 1024,
+    "M": 1024**2,
+    "MB": 1024**2,
+    "G": 1024**3,
+    "GB": 1024**3,
+    "T": 1024**4,
+    "TB": 1024**4,
+}
+
+
+def parse_bytes(value: "int | float | str | None") -> int | None:
+    """Parse a byte budget: ``None``, an int, or ``"64M"``-style strings.
+
+    Accepted suffixes (case-insensitive, optional ``B``): K, M, G, T —
+    all binary (``1K == 1024``).  Non-positive budgets are rejected: a
+    zero budget would pin every block warm forever, which callers should
+    express by *not* enabling tiering (or use a 1-byte budget in tests
+    that deliberately want an all-warm store).
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        raise TypeError(f"memory budget must be bytes or a size string, got {value!r}")
+    if isinstance(value, (int, float)):
+        number, factor = float(value), 1
+    else:
+        text = value.strip().upper()
+        idx = len(text)
+        while idx > 0 and (text[idx - 1].isalpha()):
+            idx -= 1
+        suffix = text[idx:]
+        if suffix not in _UNITS:
+            raise ValueError(
+                f"unknown byte suffix {suffix!r} in {value!r}; "
+                f"use one of {sorted(u for u in _UNITS if u)}"
+            )
+        try:
+            number = float(text[:idx])
+        except ValueError:
+            raise ValueError(f"cannot parse byte size {value!r}") from None
+        factor = _UNITS[suffix]
+    if not math.isfinite(number) or number <= 0:
+        raise ValueError(f"memory budget must be positive and finite, got {value!r}")
+    return int(number * factor)
+
+
+def format_bytes(nbytes: int | None) -> str:
+    """Human-readable rendering for reports (``None`` -> ``"unlimited"``)."""
+    if nbytes is None:
+        return "unlimited"
+    size = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.1f}{unit}" if unit != "B" else f"{int(size)}B"
+        size /= 1024
+    return f"{size:.1f}GiB"  # pragma: no cover - loop always returns
+
+
+class MemoryBudget:
+    """Shared resident-byte ledger for a set of tiered tables.
+
+    Charges are *absolute* per key (``set`` semantics, not deltas): after
+    a rebalance pass each table re-declares its hot and cold footprints,
+    which makes the ledger self-correcting — a missed release cannot
+    accumulate drift.
+    """
+
+    def __init__(self, total: int | None) -> None:
+        if total is not None:
+            total = int(total)
+            if total <= 0:
+                raise ValueError(f"budget total must be positive, got {total}")
+        self.total = total
+        self._charges: dict[str, int] = {}
+
+    @property
+    def unlimited(self) -> bool:
+        return self.total is None
+
+    def used(self) -> int:
+        return sum(self._charges.values())
+
+    def remaining(self) -> int:
+        if self.total is None:
+            return 2**62  # effectively unbounded, still int math
+        return self.total - self.used()
+
+    def charge(self, key: str, nbytes: int) -> None:
+        """Declare the current resident bytes for ``key``."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError(f"cannot charge negative bytes for {key!r}: {nbytes}")
+        previous = self._charges.get(key, 0)
+        if self.total is not None and self.used() - previous + nbytes > self.total:
+            raise BudgetExceededError(
+                f"charging {nbytes}B to {key!r} exceeds budget "
+                f"{self.total}B (used {self.used() - previous}B elsewhere)"
+            )
+        if nbytes == 0:
+            self._charges.pop(key, None)
+        else:
+            self._charges[key] = nbytes
+
+    def release(self, key: str) -> None:
+        self._charges.pop(key, None)
+
+    def fits(self, nbytes: int) -> bool:
+        return self.total is None or nbytes <= self.remaining()
+
+    def charges(self) -> dict[str, int]:
+        """Snapshot of the ledger, sorted by key for stable reports."""
+        return {k: self._charges[k] for k in sorted(self._charges)}
+
+    def report(self) -> dict:
+        return {
+            "budget_bytes": self.total,
+            "used_bytes": self.used(),
+            "charges": self.charges(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryBudget(total={format_bytes(self.total)}, "
+            f"used={format_bytes(self.used())})"
+        )

@@ -1,0 +1,119 @@
+"""Cold-tier block codecs.
+
+The cold tier stores *encoded* blocks (the full-precision copy is
+abandoned), so unlike the wire codecs in :mod:`repro.ps.compression` —
+which only need ``roundtrip`` — these codecs keep the encoded form and
+decode on demand.  The arithmetic is deliberately identical to the wire
+codecs: ``decode(encode(rows))`` is bit-equal to
+``get_compressor(name).roundtrip(rows)``, which the tests pin.  That
+makes the accuracy story composable: a cold read is exactly one wire
+round-trip's worth of quantization error, no new error model.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+_INT8_LEVELS = 255  # must match Int8Compression._levels
+
+
+@dataclass(frozen=True)
+class EncodedBlock:
+    """One quantized block: codec-specific payload + its resident size."""
+
+    payload: tuple
+    nbytes: int
+    rows: int
+    width: int
+
+
+class BlockCodec(ABC):
+    """Encode/decode whole residency blocks for the cold tier."""
+
+    name: str = "base"
+
+    @abstractmethod
+    def encode(self, rows: np.ndarray) -> EncodedBlock: ...
+
+    @abstractmethod
+    def decode(self, block: EncodedBlock) -> np.ndarray:
+        """Reconstruct float64 rows (a fresh array, safe to mutate)."""
+
+    @abstractmethod
+    def bytes_per_row(self, width: int) -> int:
+        """Resident bytes per encoded row, for budget planning."""
+
+
+class Fp16BlockCodec(BlockCodec):
+    """Half-precision cold storage: 2 bytes/element."""
+
+    name = "fp16"
+
+    def encode(self, rows: np.ndarray) -> EncodedBlock:
+        half = np.asarray(rows, dtype=np.float64).astype(np.float16)
+        return EncodedBlock(
+            payload=(half,),
+            nbytes=int(half.nbytes),
+            rows=rows.shape[0],
+            width=rows.shape[1],
+        )
+
+    def decode(self, block: EncodedBlock) -> np.ndarray:
+        (half,) = block.payload
+        return half.astype(np.float64)
+
+    def bytes_per_row(self, width: int) -> int:
+        return 2 * width
+
+
+class Int8BlockCodec(BlockCodec):
+    """Per-row linear 8-bit quantization: 1 byte/element + 16 bytes/row.
+
+    Mirrors ``Int8Compression.roundtrip`` exactly — same per-row min/max
+    range, same degenerate-row span guard, same reconstruction order of
+    operations — but keeps ``(q, lo, span)`` instead of decoding eagerly.
+    """
+
+    name = "int8"
+
+    def encode(self, rows: np.ndarray) -> EncodedBlock:
+        rows = np.asarray(rows, dtype=np.float64)
+        lo = rows.min(axis=1, keepdims=True)
+        hi = rows.max(axis=1, keepdims=True)
+        span = np.where(hi - lo > 0, hi - lo, 1.0)
+        q = np.round((rows - lo) / span * _INT8_LEVELS).astype(np.uint8)
+        nbytes = int(q.nbytes + lo.nbytes + span.nbytes)
+        return EncodedBlock(
+            payload=(q, lo, span),
+            nbytes=nbytes,
+            rows=rows.shape[0],
+            width=rows.shape[1],
+        )
+
+    def decode(self, block: EncodedBlock) -> np.ndarray:
+        q, lo, span = block.payload
+        return lo + q.astype(np.float64) / _INT8_LEVELS * span
+
+    def bytes_per_row(self, width: int) -> int:
+        return width + 16
+
+
+_CODECS = {
+    "fp16": Fp16BlockCodec,
+    "int8": Int8BlockCodec,
+}
+
+
+def get_block_codec(name: str) -> BlockCodec | None:
+    """Codec by name; ``"none"`` returns ``None`` (cold tier disabled)."""
+    if name == "none":
+        return None
+    try:
+        return _CODECS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown cold codec {name!r}; available: ['none', 'fp16', 'int8']"
+        ) from None

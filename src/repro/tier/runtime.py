@@ -1,0 +1,152 @@
+"""Tier runtime: wires a set of tables to one budget, clock, and scratch dir.
+
+A :class:`TierRuntime` is what :class:`~repro.ps.kvstore.ShardedKVStore`
+constructs when built with ``backing="tiered"``: it owns the shared
+:class:`~repro.tier.budget.MemoryBudget` ledger, the ``tier.*`` SimClock,
+and the scratch directory holding each table's memmap shard.  The budget
+is split between tables proportionally to logical size at attach time so
+the entity and relation tables never race for the same bytes.
+
+Scratch files are removed by :meth:`close`; a ``weakref.finalize`` guard
+cleans up runtimes that are simply dropped, so leaked temp directories
+cannot accumulate across test runs or sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import weakref
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.tracer import TraceScope
+from repro.tier.budget import MemoryBudget, parse_bytes
+from repro.tier.policy import TierCostModel, TierMeter, TierPolicy
+from repro.tier.store import TieredTable
+from repro.utils.simclock import SimClock
+
+
+@dataclass(frozen=True)
+class TierConfig:
+    """Everything needed to turn dense tables into a tiered store.
+
+    Parameters
+    ----------
+    budget:
+        Total resident bytes across all tables: an int, a size string
+        (``"64M"``), or ``None`` for unlimited.
+    policy:
+        Residency policy (block size, pass cadence, hit-rate target...).
+    cost:
+        Simulated cost model for tier traffic.
+    directory:
+        Where memmap shards live.  ``None`` creates (and later removes) a
+        private temp directory; an explicit path is useful to place
+        scratch on a specific disk — the shard *files* are still removed
+        on close, only the directory itself is kept.
+    """
+
+    budget: int | str | None = None
+    policy: TierPolicy = field(default_factory=TierPolicy)
+    cost: TierCostModel = field(default_factory=TierCostModel)
+    directory: str | os.PathLike[str] | None = None
+
+
+def _remove_paths(paths: tuple[str, ...], owned_dir: str | None) -> None:
+    for path in paths:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    if owned_dir is not None:
+        shutil.rmtree(owned_dir, ignore_errors=True)
+
+
+class TierRuntime:
+    """Shared state for the tiered tables of one store."""
+
+    def __init__(
+        self, tables: dict[str, np.ndarray], config: TierConfig | None = None
+    ) -> None:
+        config = config if config is not None else TierConfig()
+        self.config = config
+        total = parse_bytes(config.budget)
+        self.budget = MemoryBudget(total)
+        self.clock = SimClock()
+        self.meter = TierMeter(config.cost, self.clock)
+        if config.directory is None:
+            directory = tempfile.mkdtemp(prefix="repro-tier-")
+            owned_dir = directory
+        else:
+            directory = os.fspath(config.directory)
+            os.makedirs(directory, exist_ok=True)
+            owned_dir = None
+        self.directory = directory
+        logical = {k: int(np.asarray(t).nbytes) for k, t in tables.items()}
+        total_logical = sum(logical.values())
+        self.tables: dict[str, TieredTable] = {}
+        paths = []
+        for kind, array in tables.items():
+            if total is None or total_logical == 0:
+                slice_bytes = None
+            else:
+                slice_bytes = total * logical[kind] // total_logical
+            path = os.path.join(directory, f"{kind}.mmap")
+            paths.append(path)
+            self.tables[kind] = TieredTable(
+                array,
+                name=kind,
+                path=path,
+                budget=self.budget,
+                slice_bytes=slice_bytes,
+                policy=config.policy,
+                meter=self.meter,
+            )
+        self._finalizer = weakref.finalize(
+            self, _remove_paths, tuple(paths), owned_dir
+        )
+
+    # ------------------------------------------------------------------- hooks
+
+    def bind_trace(self, scope: TraceScope) -> None:
+        for table in self.tables.values():
+            table.bind_trace(scope)
+
+    def rebalance(self) -> None:
+        """Force a promotion pass on every table (benchmarks/tests)."""
+        for table in self.tables.values():
+            table.rebalance()
+
+    # --------------------------------------------------------------- reporting
+
+    def memory_report(self) -> dict:
+        per_table = {k: t.report() for k, t in sorted(self.tables.items())}
+        return {
+            "backing": "tiered",
+            "budget_bytes": self.budget.total,
+            "used_bytes": self.budget.used(),
+            "resident_bytes": sum(t["resident_bytes"] for t in per_table.values()),
+            "logical_bytes": sum(t["logical_bytes"] for t in per_table.values()),
+            "tier_seconds": self.clock.elapsed,
+            "tier_breakdown": self.meter.breakdown(),
+            "charges": self.budget.charges(),
+            "tables": per_table,
+        }
+
+    # ----------------------------------------------------------------- cleanup
+
+    def close(self) -> None:
+        """Flush, unmap, and delete the scratch shards (idempotent)."""
+        for table in self.tables.values():
+            table.close()
+        if self._finalizer.alive:
+            self._finalizer()
+
+    def __repr__(self) -> str:
+        return (
+            f"TierRuntime(tables={sorted(self.tables)}, "
+            f"budget={self.budget!r}, dir={self.directory!r})"
+        )

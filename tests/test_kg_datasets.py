@@ -43,6 +43,23 @@ class TestSpecs:
     def test_scaled_rejects_non_positive(self):
         with pytest.raises(ValueError):
             FB15K_SPEC.scaled(0)
+        with pytest.raises(ValueError):
+            FB15K_SPEC.scaled(-0.5)
+
+    def test_scaled_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            FB15K_SPEC.scaled(float("inf"))
+        with pytest.raises(ValueError):
+            FB15K_SPEC.scaled(float("nan"))
+
+    def test_scaled_up(self):
+        """scale > 1 grows entities/triples proportionally and keeps the
+        relation vocabulary fixed (real KGs grow entities, not relations)."""
+        spec = FB15K_SPEC.scaled(2.5)
+        assert spec.num_entities == 37_377
+        assert spec.num_triples == 1_480_532
+        assert spec.num_relations == FB15K_SPEC.num_relations
+        assert spec.name == "fb15k-x2.5"
 
     def test_default_communities(self):
         spec = DatasetSpec("x", 10_000, 10, 1000)
@@ -73,6 +90,19 @@ class TestGenerate:
         a = generate_dataset("wn18", scale=0.02, seed=5)
         b = generate_dataset("wn18", scale=0.02, seed=5)
         assert np.array_equal(a.triples, b.triples)
+
+    def test_upscaled_determinism_pinned(self):
+        """Upscaled generation is pinned to an exact fingerprint so silent
+        generator changes (which would invalidate the memory-tiering
+        experiment's stored curves) are caught."""
+        import hashlib
+
+        g = generate_dataset(DatasetSpec("tiny", 64, 4, 200, seed=7), scale=4.0)
+        assert (g.num_entities, g.num_relations, g.num_triples) == (256, 4, 800)
+        digest = hashlib.sha256(
+            np.ascontiguousarray(g.triples).tobytes()
+        ).hexdigest()
+        assert digest[:16] == "ee84e06f43c201a1"
 
     def test_seed_changes_graph(self):
         a = generate_dataset("wn18", scale=0.02, seed=5)
