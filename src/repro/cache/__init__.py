@@ -1,5 +1,9 @@
 """Hotness-aware embedding caches — the paper's core contribution.
 
+* :mod:`repro.cache.core` — the unified policy-pluggable cache engine:
+  :class:`CacheCore` + :class:`CapacityLedger` (centralized capacity
+  accounting), the :class:`EvictionStrategy` registry, and trace-level
+  CPS/DPS/ADAPTIVE membership replay (see ``docs/caching.md``).
 * :mod:`repro.cache.table` — the fixed-capacity cache embedding table.
 * :mod:`repro.cache.prefetch` — Algorithm 1 (prefetch D iterations of samples).
 * :mod:`repro.cache.filtering` — Algorithm 2 (top-k frequency filtering with
@@ -7,12 +11,24 @@
 * :mod:`repro.cache.strategies` — CPS and DPS hot-table construction.
 * :mod:`repro.cache.sync` — bounded-staleness synchronization (Algorithms 3/4,
   worker side).
-* :mod:`repro.cache.policies` — FIFO/LRU/LFU/importance baselines (Table VI).
+* :mod:`repro.cache.policies` — FIFO/LRU/LFU/importance baselines (Table VI),
+  facades over the unified core.
 """
 
+from repro.cache.core import (
+    CacheCore,
+    CapacityError,
+    CapacityLedger,
+    EvictionStrategy,
+    HotnessMembershipCache,
+    available_policies,
+    make_cache,
+    register_policy,
+    replay_membership_trace,
+)
 from repro.cache.table import CacheTable, CacheStats
 from repro.cache.prefetch import prefetch, PrefetchResult
-from repro.cache.filtering import filter_hot_ids, HotSet
+from repro.cache.filtering import filter_hot_ids, split_slots, HotSet
 from repro.cache.strategies import (
     HotEmbeddingStrategy,
     ConstantPartialStale,
@@ -32,11 +48,21 @@ from repro.cache.policies import (
 )
 
 __all__ = [
+    "CacheCore",
+    "CapacityError",
+    "CapacityLedger",
+    "EvictionStrategy",
+    "HotnessMembershipCache",
+    "available_policies",
+    "make_cache",
+    "register_policy",
+    "replay_membership_trace",
     "CacheTable",
     "CacheStats",
     "prefetch",
     "PrefetchResult",
     "filter_hot_ids",
+    "split_slots",
     "HotSet",
     "HotEmbeddingStrategy",
     "ConstantPartialStale",

@@ -55,6 +55,24 @@ def _top_ids(counts: dict[int, int], k: int) -> np.ndarray:
     return ids[order[:k]]
 
 
+def split_slots(capacity: int, entity_ratio: float) -> tuple[int, int]:
+    """Divide ``capacity`` cache slots between entities and relations.
+
+    The one slot-split rule shared by training
+    (:func:`filter_hot_ids`) and serving
+    (:meth:`repro.serving.ServingCache.dynamic`): entities get
+    ``round(capacity * entity_ratio)`` slots and relations the remainder,
+    so the sides always sum to **exactly** ``capacity`` — at
+    ``capacity=1`` one side gets the single slot and the other gets zero.
+    (The pre-core serving split applied ``max(1, ...)`` to both sides
+    independently and allocated two slots to a capacity-1 cache.)
+    """
+    check_positive("capacity", capacity)
+    check_fraction("entity_ratio", entity_ratio)
+    entity_slots = int(round(capacity * entity_ratio))
+    return entity_slots, capacity - entity_slots
+
+
 def filter_hot_ids(
     entity_counts: dict[int, int],
     relation_counts: dict[int, int],
@@ -95,9 +113,7 @@ def filter_hot_ids(
             relations=ids[top[top_kinds == 1]],
         )
 
-    check_fraction("entity_ratio", entity_ratio)
-    entity_slots = int(round(capacity * entity_ratio))
-    relation_slots = capacity - entity_slots
+    entity_slots, relation_slots = split_slots(capacity, entity_ratio)
     entities = _top_ids(entity_counts, entity_slots)
     relations = _top_ids(relation_counts, relation_slots)
 

@@ -12,17 +12,36 @@ entry of Table VI comes from running the real
 trace replay, :func:`replay_trace` with a
 :class:`~repro.cache.strategies.DynamicPartialStale`-style oracle window is
 provided by :func:`hotness_window_hit_ratio`.
+
+Implementation note
+-------------------
+Each class here is a thin facade over the unified engine in
+:mod:`repro.cache.core`: the policy logic lives in an
+:class:`~repro.cache.core.EvictionStrategy` and capacity accounting in the
+core's :class:`~repro.cache.core.CapacityLedger`, so ``len(cache) <=
+capacity`` is enforced centrally rather than re-derived per policy.  The
+:class:`EvictionPolicy` ABC is kept as the stable trace-replay interface
+(tests subclass it directly for reference implementations).
 """
 
 from __future__ import annotations
 
-import heapq
 from abc import ABC, abstractmethod
-from collections import Counter, OrderedDict
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.cache.core import (
+    ARCStrategy,
+    CacheCore,
+    ClockStrategy,
+    EvictionStrategy,
+    FIFOStrategy,
+    LFUStrategy,
+    LRUStrategy,
+    PinnedStrategy,
+    TwoQueueStrategy,
+)
 from repro.utils.validation import check_positive
 
 
@@ -60,99 +79,54 @@ class EvictionPolicy(ABC):
     def __len__(self) -> int: ...
 
 
-class FIFOCache(EvictionPolicy):
+class _CoreBackedPolicy(EvictionPolicy):
+    """EvictionPolicy facade over a :class:`~repro.cache.core.CacheCore`."""
+
+    def __init__(self, capacity: int, strategy: EvictionStrategy) -> None:
+        super().__init__(capacity)
+        self._core = CacheCore(capacity, strategy)
+
+    @property
+    def core(self) -> CacheCore:
+        """The backing unified-core instance (ledger, strategy, label)."""
+        return self._core
+
+    def _access(self, key: int) -> bool:
+        return self._core.access(key)
+
+    def __len__(self) -> int:
+        return len(self._core)
+
+
+class FIFOCache(_CoreBackedPolicy):
     """Evict the oldest-admitted key."""
 
     def __init__(self, capacity: int) -> None:
-        super().__init__(capacity)
-        self._queue: OrderedDict[int, None] = OrderedDict()
-
-    def _access(self, key: int) -> bool:
-        if key in self._queue:
-            return True
-        if len(self._queue) >= self.capacity:
-            self._queue.popitem(last=False)
-        self._queue[key] = None
-        return False
-
-    def __len__(self) -> int:
-        return len(self._queue)
+        super().__init__(capacity, FIFOStrategy())
 
 
-class LRUCache(EvictionPolicy):
+class LRUCache(_CoreBackedPolicy):
     """Evict the least recently used key."""
 
     def __init__(self, capacity: int) -> None:
-        super().__init__(capacity)
-        self._order: OrderedDict[int, None] = OrderedDict()
-
-    def _access(self, key: int) -> bool:
-        if key in self._order:
-            self._order.move_to_end(key)
-            return True
-        if len(self._order) >= self.capacity:
-            self._order.popitem(last=False)
-        self._order[key] = None
-        return False
-
-    def __len__(self) -> int:
-        return len(self._order)
+        super().__init__(capacity, LRUStrategy())
 
 
-class LFUCache(EvictionPolicy):
+class LFUCache(_CoreBackedPolicy):
     """Evict the least frequently used key (ties: least recent).
 
     Counts are *historical*: a key evicted and later re-admitted returns
     with its accumulated access count, exactly as the reference
-    ``min(members, key=counts)`` implementation behaved.  Eviction is
-    O(log n) instead of an O(capacity) scan per miss: members live in
-    per-count buckets ordered by last access, and a lazy min-heap of
-    occupied counts finds the coldest bucket.  The victim — the earliest
-    last-accessed key among the minimum-count members — is identical to
-    the scan-based reference (``tests/test_perf_equivalence.py`` checks
-    trace-for-trace agreement).
+    ``min(members, key=counts)`` implementation behaved; the bucketed
+    O(log n) eviction picks identical victims
+    (``tests/test_perf_equivalence.py`` checks trace-for-trace agreement).
     """
 
     def __init__(self, capacity: int) -> None:
-        super().__init__(capacity)
-        self._counts: Counter[int] = Counter()
-        #: count -> members at that count, ascending last-access order.
-        self._buckets: dict[int, OrderedDict[int, None]] = {}
-        self._count_heap: list[int] = []
-        self._members: set[int] = set()
-
-    def _bucket_add(self, key: int, count: int) -> None:
-        bucket = self._buckets.get(count)
-        if bucket is None:
-            bucket = self._buckets[count] = OrderedDict()
-        if not bucket:
-            heapq.heappush(self._count_heap, count)
-        bucket[key] = None
-
-    def _access(self, key: int) -> bool:
-        self._counts[key] += 1
-        count = self._counts[key]
-        if key in self._members:
-            del self._buckets[count - 1][key]
-            self._bucket_add(key, count)
-            return True
-        if len(self._members) >= self.capacity:
-            while True:
-                coldest = self._buckets.get(self._count_heap[0])
-                if coldest:
-                    break
-                heapq.heappop(self._count_heap)  # stale: bucket drained
-            victim, _ = coldest.popitem(last=False)
-            self._members.discard(victim)
-        self._members.add(key)
-        self._bucket_add(key, count)
-        return False
-
-    def __len__(self) -> int:
-        return len(self._members)
+        super().__init__(capacity, LFUStrategy())
 
 
-class ImportanceCache(EvictionPolicy):
+class ImportanceCache(_CoreBackedPolicy):
     """Static cache of the top-``capacity`` most important keys.
 
     "Importance" is supplied up front (the comparison uses entity degree /
@@ -161,18 +135,13 @@ class ImportanceCache(EvictionPolicy):
     """
 
     def __init__(self, capacity: int, importance: dict[int, float]) -> None:
-        super().__init__(capacity)
+        strategy = PinnedStrategy()
+        super().__init__(capacity, strategy)
         ranked = sorted(importance.items(), key=lambda kv: (-kv[1], kv[0]))
-        self._members = {k for k, _ in ranked[:capacity]}
-
-    def _access(self, key: int) -> bool:
-        return key in self._members
-
-    def __len__(self) -> int:
-        return len(self._members)
+        strategy.install(k for k, _ in ranked[:capacity])
 
 
-class ClockCache(EvictionPolicy):
+class ClockCache(_CoreBackedPolicy):
     """CLOCK (second-chance FIFO): a one-bit approximation of LRU.
 
     Keys sit on a circular buffer with a reference bit; the hand skips
@@ -180,150 +149,46 @@ class ClockCache(EvictionPolicy):
     """
 
     def __init__(self, capacity: int) -> None:
-        super().__init__(capacity)
-        self._keys: list[int] = []
-        self._referenced: dict[int, bool] = {}
-        self._hand = 0
-
-    def _access(self, key: int) -> bool:
-        if key in self._referenced:
-            self._referenced[key] = True
-            return True
-        if len(self._keys) < self.capacity:
-            self._keys.append(key)
-        else:
-            # Advance the hand past referenced keys, clearing their bit.
-            while self._referenced[self._keys[self._hand]]:
-                self._referenced[self._keys[self._hand]] = False
-                self._hand = (self._hand + 1) % self.capacity
-            victim = self._keys[self._hand]
-            del self._referenced[victim]
-            self._keys[self._hand] = key
-            self._hand = (self._hand + 1) % self.capacity
-        self._referenced[key] = False
-        return False
-
-    def __len__(self) -> int:
-        return len(self._keys)
+        super().__init__(capacity, ClockStrategy())
 
 
-class TwoQueueCache(EvictionPolicy):
+class TwoQueueCache(_CoreBackedPolicy):
     """2Q: a probationary FIFO in front of a protected LRU.
 
     First-time keys enter the probationary queue; a hit there promotes to
     the protected LRU segment.  One-hit wonders therefore never displace
     genuinely reused keys — useful against KGE's long random-negative tail.
+
+    The segment capacities always sum to exactly ``capacity`` (at
+    ``capacity=1`` the protected segment gets zero slots and probation
+    hits stay probationary) — the pre-core version gave each segment
+    ``max(1, ...)`` slots independently and overflowed at capacity 1.
     """
 
     def __init__(self, capacity: int, probation_fraction: float = 0.25) -> None:
-        super().__init__(capacity)
-        if not 0.0 < probation_fraction < 1.0:
-            raise ValueError(
-                f"probation_fraction must be in (0, 1), got {probation_fraction}"
-            )
-        self._probation_cap = max(1, int(capacity * probation_fraction))
-        self._protected_cap = max(1, capacity - self._probation_cap)
-        self._probation: OrderedDict[int, None] = OrderedDict()
-        self._protected: OrderedDict[int, None] = OrderedDict()
-
-    def _access(self, key: int) -> bool:
-        if key in self._protected:
-            self._protected.move_to_end(key)
-            return True
-        if key in self._probation:
-            del self._probation[key]
-            if len(self._protected) >= self._protected_cap:
-                self._protected.popitem(last=False)
-            self._protected[key] = None
-            return True
-        if len(self._probation) >= self._probation_cap:
-            self._probation.popitem(last=False)
-        self._probation[key] = None
-        return False
-
-    def __len__(self) -> int:
-        return len(self._probation) + len(self._protected)
+        super().__init__(capacity, TwoQueueStrategy(probation_fraction))
 
 
-class ARCCache(EvictionPolicy):
+class ARCCache(_CoreBackedPolicy):
     """ARC [Megiddo & Modha, FAST 2003]: self-tuning recency/frequency mix.
 
     Maintains recency (T1) and frequency (T2) segments plus their ghost
     lists (B1/B2); ghost hits adapt the target size ``p`` of T1.  Included
     as the strongest classical adaptive policy to stress the claim that
     HET-KG's prefetch-based cache beats *reactive* policies generally.
+
+    REPLACE compares ``|T1|`` against the **exact** float target ``p`` (the
+    pre-core version truncated with ``int(p)``, deviating from the paper
+    whenever ``p`` sat between integers).
     """
 
     def __init__(self, capacity: int) -> None:
-        super().__init__(capacity)
-        self._t1: OrderedDict[int, None] = OrderedDict()  # recent, once
-        self._t2: OrderedDict[int, None] = OrderedDict()  # frequent
-        self._b1: OrderedDict[int, None] = OrderedDict()  # ghosts of t1
-        self._b2: OrderedDict[int, None] = OrderedDict()  # ghosts of t2
-        self._p = 0.0  # adaptive target size of t1
+        super().__init__(capacity, ARCStrategy())
 
-    def _replace(self, in_b2: bool) -> None:
-        if self._t1 and (
-            len(self._t1) > self._p or (in_b2 and len(self._t1) == int(self._p))
-        ):
-            victim, _ = self._t1.popitem(last=False)
-            self._b1[victim] = None
-        elif self._t2:
-            victim, _ = self._t2.popitem(last=False)
-            self._b2[victim] = None
-        elif self._t1:
-            victim, _ = self._t1.popitem(last=False)
-            self._b1[victim] = None
-
-    def _access(self, key: int) -> bool:
-        if key in self._t1:
-            del self._t1[key]
-            self._t2[key] = None
-            return True
-        if key in self._t2:
-            self._t2.move_to_end(key)
-            return True
-
-        if key in self._b1:
-            # Recency ghost hit: grow t1's target.
-            self._p = min(
-                float(self.capacity),
-                self._p + max(1.0, len(self._b2) / max(1, len(self._b1))),
-            )
-            del self._b1[key]
-            self._replace(in_b2=False)
-            self._t2[key] = None
-            return False
-        if key in self._b2:
-            # Frequency ghost hit: shrink t1's target.
-            self._p = max(
-                0.0, self._p - max(1.0, len(self._b1) / max(1, len(self._b2)))
-            )
-            del self._b2[key]
-            self._replace(in_b2=True)
-            self._t2[key] = None
-            return False
-
-        # Cold miss: case IV of the ARC paper.
-        if len(self._t1) + len(self._b1) == self.capacity:
-            if len(self._t1) < self.capacity:
-                self._b1.popitem(last=False)
-                self._replace(in_b2=False)
-            else:
-                self._t1.popitem(last=False)
-        elif len(self._t1) + len(self._b1) < self.capacity:
-            total = (
-                len(self._t1) + len(self._t2) + len(self._b1) + len(self._b2)
-            )
-            if total >= self.capacity:
-                if total == 2 * self.capacity and self._b2:
-                    self._b2.popitem(last=False)
-                self._replace(in_b2=False)
-        self._t1[key] = None
-        return False
-
-    def __len__(self) -> int:
-        return len(self._t1) + len(self._t2)
+    @property
+    def p(self) -> float:
+        """The adaptive T1 target size."""
+        return self._core.strategy.p
 
 
 def replay_trace(policy: EvictionPolicy, trace: Iterable[int]) -> float:
@@ -344,6 +209,9 @@ def hotness_window_hit_ratio(
     most frequent keys *of that window* (prefetching makes the window known
     in advance).  This is the oracle-window equivalent of the DPS strategy,
     used for Table VI's like-for-like policy comparison.
+    (:class:`repro.cache.core.HotnessMembershipCache` in ``dps`` mode
+    replays the same construction through the unified core and must agree
+    exactly — property-tested in ``tests/test_cache_core.py``.)
     """
     check_positive("capacity", capacity)
     check_positive("window", window)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+from repro.cache.core import CapacityLedger
 from repro.cache.filtering import HotSet, filter_hot_ids
 from repro.cache.prefetch import PrefetchResult, prefetch
 from repro.sampling.minibatch import EpochSampler
@@ -44,6 +45,11 @@ class HotEmbeddingStrategy(ABC):
         self.capacity = capacity
         self.entity_ratio = entity_ratio
         self._pending_overhead = 0
+        #: Centralized capacity accounting: every hot set this strategy
+        #: emits is charged here, so an over-capacity membership raises
+        #: :class:`repro.cache.core.CapacityError` at construction time
+        #: instead of overflowing the worker's cache tables downstream.
+        self._ledger = CapacityLedger(capacity)
 
     @abstractmethod
     def setup(self, sampler: EpochSampler) -> HotSet:
@@ -66,12 +72,14 @@ class HotEmbeddingStrategy(ABC):
         self._pending_overhead += (
             result.total_entity_accesses + result.total_relation_accesses
         )
-        return filter_hot_ids(
+        hot = filter_hot_ids(
             result.entity_counts,
             result.relation_counts,
             self.capacity,
             self.entity_ratio,
         )
+        self._ledger.reinstall(hot.size)
+        return hot
 
 
 class ConstantPartialStale(HotEmbeddingStrategy):

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cache.core import CapacityLedger
 from repro.utils.validation import check_positive
 
 _EMPTY_IDS = np.empty(0, dtype=np.int64)
@@ -71,9 +72,9 @@ class CacheTable:
     """
 
     def __init__(self, capacity: int, width: int) -> None:
-        if capacity < 0:
-            raise ValueError(f"capacity must be >= 0, got {capacity}")
         check_positive("width", width)
+        #: Shared capacity accounting (also validates capacity >= 0).
+        self._ledger = CapacityLedger(capacity)
         self.capacity = capacity
         self.width = width
         self._rows = np.zeros((capacity, width), dtype=np.float64)
@@ -109,10 +110,7 @@ class CacheTable:
         are preserved across installs (they measure the whole run).
         """
         ids = np.asarray(ids, dtype=np.int64)
-        if len(ids) > self.capacity:
-            raise ValueError(
-                f"cannot install {len(ids)} rows into capacity {self.capacity}"
-            )
+        self._ledger.check_fits(len(ids))
         if len(ids) != len(rows):
             raise ValueError(f"{len(ids)} ids but {len(rows)} rows")
         order = np.argsort(ids, kind="stable")
@@ -120,6 +118,7 @@ class CacheTable:
         if len(ids) > 1 and bool((sorted_ids[1:] == sorted_ids[:-1]).any()):
             raise ValueError("install ids must be unique")
         previous = len(self._ids)
+        self._ledger.reinstall(len(ids))
         self._ids = ids.copy()
         self._sorted_ids = sorted_ids
         self._sorted_slots = order

@@ -245,8 +245,9 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--cache-policy",
         default="static",
-        choices=["static", "lru", "lfu", "fifo", "arc", "none"],
-        help="serving cache variant (static = log-profiled hot set)",
+        choices=["static", "lru", "lfu", "fifo", "clock", "2q", "arc", "none"],
+        help="serving cache variant (static = log-profiled hot set; "
+        "the rest are reactive policies from the unified cache core)",
     )
     serve.add_argument("--max-batch", type=int, default=32, help="batcher capacity")
     serve.add_argument(

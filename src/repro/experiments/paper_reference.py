@@ -231,6 +231,19 @@ PAPER_REFERENCES: dict[str, PaperReference] = {
             "the online loop reproduces the static trainer bit-for-bit",
         ),
         PaperReference(
+            "cache-shootout",
+            "(extension of Table VI on the unified cache core)",
+            "n/a — the paper compares a handful of policies on training "
+            "traces only; this races every policy registered with the "
+            "unified engine (reactive FIFO/LRU/LFU/CLOCK/2Q/ARC and "
+            "prefetch-based CPS/DPS/ADAPTIVE) across stationary training, "
+            "hot-set-rotation, and serving traces.",
+            "DPS's prefetch foresight beats every reactive policy on the "
+            "stationary trace; under rotation the one-shot CPS membership "
+            "falls behind DPS and the drift-triggered ADAPTIVE; resident "
+            "rows never exceed the ledger-enforced capacity in any cell",
+        ),
+        PaperReference(
             "memory-tiering",
             "(extension beyond the paper)",
             "n/a — the paper trains fully-resident tables; this "

@@ -12,6 +12,7 @@ from repro.experiments.ablations import (
     run_ablation_partition,
 )
 from repro.experiments.accuracy import run_table3, run_table4, run_table5
+from repro.experiments.cache_shootout import run_cache_shootout
 from repro.experiments.cache_study import (
     run_fig8a,
     run_fig8b,
@@ -57,6 +58,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fault-tolerance": run_fault_tolerance,
     "streaming-drift": run_streaming_drift,
     "memory-tiering": run_memory_tiering,
+    "cache-shootout": run_cache_shootout,
 }
 
 

@@ -13,35 +13,49 @@ Two variants, mirroring the paper's training-side strategies:
   nothing is ever evicted.  The ``entity_ratio`` knob carries over: the
   heterogeneity fix matters at inference too, since every query touches
   a relation row.
-* **dynamic** — a reactive eviction policy per table
-  (:mod:`repro.cache.policies` LRU/LFU/FIFO/ARC...), for workloads whose
-  hot set drifts faster than the log can be re-profiled.
+* **dynamic** — a reactive eviction policy per table (any non-pinned
+  policy registered with :mod:`repro.cache.core`: LRU/LFU/FIFO/CLOCK/
+  2Q/ARC), for workloads whose hot set drifts faster than the log can
+  be re-profiled.  Capacity is divided between the entity and relation
+  tables by the *same* :func:`~repro.cache.filtering.split_slots` rule
+  the training filter uses, so the two tiers always agree on the split
+  and the slots sum to exactly ``capacity``.
 
+Both variants run on :class:`repro.cache.core.CacheCore` tables, so the
+capacity ledger and hit metering are the unified engine's, not
+re-implemented here.
+
+The checkpoint-swap story
+-------------------------
 Serving never writes embeddings, so there is no staleness protocol: a
-cached row is exactly the checkpointed row.  (Online refresh after a
-model swap is future work — the cache only needs ``invalidate()``.)
+cached row is exactly the checkpointed row.  After a model swap the
+cached *rows* are stale but the *membership* is still the best available
+prediction of what is hot.  :meth:`ServingCache.invalidate` therefore
+drops all resident rows (``size()`` goes to 0, the next access to each
+row misses and re-pulls it from the new checkpoint) but keeps static
+memberships as *warming*: each formerly pinned id misses exactly once
+and is then re-admitted, so the hit ratio dips for one pass over the hot
+set instead of flatlining at zero until a full re-profile.  Dynamic
+tables simply restart cold and re-learn.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.cache.filtering import HotSet, filter_hot_ids
-from repro.cache.policies import (
-    ARCCache,
-    EvictionPolicy,
-    FIFOCache,
-    LFUCache,
-    LRUCache,
+from repro.cache.core import (
+    POLICIES,
+    CacheCore,
+    EvictionStrategy,
+    PinnedStrategy,
 )
+from repro.cache.filtering import HotSet, filter_hot_ids, split_slots
 from repro.utils.validation import check_positive
 
-#: Dynamic policy registry for :meth:`ServingCache.dynamic`.
-DYNAMIC_POLICIES: dict[str, type[EvictionPolicy]] = {
-    "lru": LRUCache,
-    "lfu": LFUCache,
-    "fifo": FIFOCache,
-    "arc": ARCCache,
+#: Dynamic policy registry for :meth:`ServingCache.dynamic` — every
+#: registered core policy except the static pinned one.
+DYNAMIC_POLICIES: dict[str, type[EvictionStrategy]] = {
+    name: cls for name, cls in POLICIES.items() if name != "pinned"
 }
 
 
@@ -52,16 +66,12 @@ class ServingCache:
     :meth:`dynamic` rather than ``__init__`` directly.
     """
 
-    def __init__(
-        self,
-        pinned: dict[str, set[int]] | None = None,
-        policies: dict[str, EvictionPolicy] | None = None,
-        label: str = "static",
-    ) -> None:
-        if (pinned is None) == (policies is None):
-            raise ValueError("provide exactly one of pinned / policies")
-        self._pinned = pinned
-        self._policies = policies
+    def __init__(self, tables: dict[str, CacheCore], label: str) -> None:
+        if set(tables) != {"entity", "relation"}:
+            raise ValueError(
+                f"tables must cover entity and relation, got {sorted(tables)}"
+            )
+        self._tables = tables
         self.label = label
         self.hits = 0
         self.misses = 0
@@ -71,11 +81,17 @@ class ServingCache:
     @classmethod
     def static(cls, hot_set: HotSet) -> "ServingCache":
         """Pin a pre-computed :class:`~repro.cache.filtering.HotSet`."""
-        pinned = {
-            "entity": set(hot_set.entities.tolist()),
-            "relation": set(hot_set.relations.tolist()),
-        }
-        return cls(pinned=pinned, label="static")
+        tables = {}
+        for kind, ids in (
+            ("entity", hot_set.entities),
+            ("relation", hot_set.relations),
+        ):
+            members = [int(i) for i in ids]
+            strategy = PinnedStrategy()
+            table = CacheCore(len(members), strategy, label="static")
+            strategy.install(members)
+            tables[kind] = table
+        return cls(tables, label="static")
 
     @classmethod
     def from_query_log(
@@ -103,22 +119,23 @@ class ServingCache:
         """Reactive cache: one eviction policy instance per table.
 
         ``entity_ratio`` splits ``capacity`` between the entity and
-        relation policies, like the static filter's slot split.
+        relation tables via :func:`~repro.cache.filtering.split_slots`,
+        identically to the static filter — the two slot counts sum to
+        exactly ``capacity`` (a zero-slot side never admits).
         """
         check_positive("capacity", capacity)
         try:
-            policy_cls = DYNAMIC_POLICIES[policy]
+            strategy_cls = DYNAMIC_POLICIES[policy]
         except KeyError:
             raise KeyError(
                 f"unknown policy {policy!r}; available: {sorted(DYNAMIC_POLICIES)}"
             ) from None
-        entity_slots = max(1, int(round(capacity * entity_ratio)))
-        relation_slots = max(1, capacity - entity_slots)
-        policies = {
-            "entity": policy_cls(entity_slots),
-            "relation": policy_cls(relation_slots),
+        entity_slots, relation_slots = split_slots(capacity, entity_ratio)
+        tables = {
+            "entity": CacheCore(entity_slots, strategy_cls(), label=policy),
+            "relation": CacheCore(relation_slots, strategy_cls(), label=policy),
         }
-        return cls(policies=policies, label=policy)
+        return cls(tables, label=policy)
 
     # ----------------------------------------------------------------- lookup
 
@@ -130,16 +147,10 @@ class ServingCache:
         a real dispatch gathers unique rows.
         """
         ids = np.asarray(ids, dtype=np.int64)
-        if self._pinned is not None:
-            members = self._pinned[kind]
-            mask = np.fromiter(
-                (int(i) in members for i in ids), dtype=bool, count=len(ids)
-            )
-        else:
-            policy = self._policies[kind]
-            mask = np.fromiter(
-                (policy.access(int(i)) for i in ids), dtype=bool, count=len(ids)
-            )
+        table = self._tables[kind]
+        mask = np.fromiter(
+            (table.access(int(i)) for i in ids), dtype=bool, count=len(ids)
+        )
         hits = int(mask.sum())
         self.hits += hits
         self.misses += len(ids) - hits
@@ -154,19 +165,25 @@ class ServingCache:
 
     def size(self) -> int:
         """Rows currently resident (pinned or admitted)."""
-        if self._pinned is not None:
-            return sum(len(s) for s in self._pinned.values())
-        return sum(len(p) for p in self._policies.values())
+        return sum(len(t) for t in self._tables.values())
+
+    def table(self, kind: str) -> CacheCore:
+        """The backing :class:`~repro.cache.core.CacheCore` for one kind."""
+        return self._tables[kind]
 
     def invalidate(self) -> None:
-        """Drop all cached rows (e.g. after a checkpoint swap)."""
-        if self._pinned is not None:
-            for members in self._pinned.values():
-                members.clear()
-        else:
-            for kind, policy in list(self._policies.items()):
-                fresh = type(policy)(policy.capacity)
-                self._policies[kind] = fresh
+        """Drop all cached rows after a checkpoint swap.
+
+        Static (pinned) tables keep their membership as *warming*: each
+        formerly hot id misses once (re-pulling the fresh row) and is
+        re-admitted, so the cache re-warms in one pass instead of staying
+        empty forever.  Dynamic tables restart cold.
+        """
+        for table in self._tables.values():
+            if isinstance(table.strategy, PinnedStrategy):
+                table.strategy.invalidate_rows()
+            else:
+                table.clear()
 
     def reset_stats(self) -> None:
         self.hits = 0

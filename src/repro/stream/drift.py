@@ -322,6 +322,10 @@ class AdaptiveStale(HotEmbeddingStrategy):
             triggered = signal.triggered
         if triggered:
             self.rebuilds += 1
+            # Charge the new membership to the inherited capacity ledger:
+            # the spare-slot top-up in _build_hot must never push the hot
+            # set past capacity, and this is where that would surface.
+            self._ledger.reinstall(window_hot.size)
             self._next_hot = window_hot
             self._cached_entities = np.sort(np.asarray(window_hot.entities))
             self._cached_relations = np.sort(np.asarray(window_hot.relations))

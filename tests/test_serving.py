@@ -141,6 +141,39 @@ class TestServingCache:
         assert cache.size() == 0
         assert not cache.lookup("entity", np.array([1])).any()
 
+    def test_invalidate_rewarms_static_membership(self):
+        """Regression (ISSUE 7): invalidate() used to clear the pinned
+        membership permanently, flatlining the hit ratio at 0 after a
+        checkpoint swap.  The membership must survive as warming: each
+        hot id misses once (re-pulling the fresh row), then hits again."""
+        log = QueryLog([score_query(0, head=1, tail=2)])
+        cache = ServingCache.from_query_log(log, capacity=4)
+        cache.invalidate()
+        # One warming miss per hot id, then resident again.
+        assert not cache.lookup("entity", np.array([1])).any()
+        assert cache.lookup("entity", np.array([1])).all()
+        assert cache.size() > 0
+        # Ids that were never hot still never get admitted.
+        assert not cache.lookup("entity", np.array([9])).any()
+        assert not cache.lookup("entity", np.array([9])).any()
+
+    def test_invalidate_dynamic_restarts_cold(self):
+        cache = ServingCache.dynamic(capacity=4, policy="lru", entity_ratio=0.5)
+        cache.lookup("entity", np.array([5]))
+        assert cache.lookup("entity", np.array([5])).all()
+        cache.invalidate()
+        assert cache.size() == 0
+        # Reactive caches re-learn from scratch: miss, then admit.
+        assert not cache.lookup("entity", np.array([5])).any()
+        assert cache.lookup("entity", np.array([5])).all()
+
+    @pytest.mark.parametrize("policy", ["clock", "2q"])
+    def test_new_core_policies_available(self, policy):
+        cache = ServingCache.dynamic(capacity=4, policy=policy, entity_ratio=0.5)
+        assert not cache.lookup("entity", np.array([5])).any()
+        assert cache.lookup("entity", np.array([5])).all()
+        assert cache.label == policy
+
 
 # -------------------------------------------------------------------- workload
 
