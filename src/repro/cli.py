@@ -216,6 +216,15 @@ def _build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve-bench",
         help="replay a Zipfian inference workload against a trained model",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "overload examples:\n"
+            "  hetkg serve-bench --rate 64000 --slo 0.01 \\\n"
+            "      --admission 'gold=2000/256/p2,free=500/64,*=100'\n"
+            "  hetkg serve-bench --faults 'drop=0.1,ps-out=0@5:8,retries=4x0.004'\n"
+            "  hetkg serve-bench --cache-policy lru --deploy-every 500\n"
+            "(see docs/serving.md for the admission grammar and shed ladder)"
+        ),
     )
     serve.add_argument(
         "--checkpoint",
@@ -263,6 +272,55 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-baseline",
         action="store_true",
         help="skip the cache-off comparison run",
+    )
+    serve.add_argument(
+        "--tenants",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated tenant names assigned round-robin to the "
+        "stream; the report gains per-tenant p99 latency (defaults to "
+        "the --admission spec's tenants when that is given)",
+    )
+    serve.add_argument(
+        "--admission",
+        default=None,
+        metavar="SPEC",
+        help="per-tenant token-bucket admission, clauses "
+        "'name=rate[/burst][/p<priority>]', e.g. "
+        "'gold=2000/256/p2,free=500/64,*=100' ('*' = wildcard bucket); "
+        "over-rate arrivals get the first-class 'rejected' outcome",
+    )
+    serve.add_argument(
+        "--slo",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="enable deadline-projecting load shedding against this "
+        "latency SLO (ladder: full answer -> truncated top-k -> shed)",
+    )
+    serve.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="inject deterministic faults into the shard-pull path "
+        "(repro.faults grammar), e.g. "
+        "'drop=0.1,ps-out=0@5:8,retries=4x0.004,seed=7'; exhausted "
+        "retry budgets surface as 'timeout' outcomes, never crashes",
+    )
+    serve.add_argument(
+        "--deploy-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="snapshot the trainer and atomically swap the serving "
+        "version every N measured queries (double-buffered; the cache "
+        "is re-warmed from trainer hot membership before each swap)",
+    )
+    serve.add_argument(
+        "--no-rewarm",
+        action="store_true",
+        help="skip pre-swap cache re-warming (the naive deployment: "
+        "demonstrates the post-swap hit-ratio cliff)",
     )
     serve.add_argument("--seed", type=int, default=0)
     _add_trace_flag(serve)
@@ -463,6 +521,16 @@ def _serve_bench(args: argparse.Namespace) -> int:
     from repro.utils.tables import format_table
     from repro.serving.metrics import ServingReport
 
+    overload = (
+        args.tenants is not None
+        or args.admission is not None
+        or args.slo is not None
+        or args.faults is not None
+        or args.deploy_every is not None
+    )
+    if args.deploy_every is not None and args.checkpoint is not None:
+        print("--deploy-every snapshots a live trainer; drop --checkpoint")
+        return 2
     spec = WorkloadSpec(
         num_queries=args.queries,
         arrival_rate=args.rate,
@@ -474,6 +542,7 @@ def _serve_bench(args: argparse.Namespace) -> int:
         print("--memory-budget requires --backing tiered")
         return 2
     tier_cfg = _tier_config(args)
+    trainer = None
     if args.checkpoint is not None:
         store = EmbeddingStore.from_checkpoint(
             args.checkpoint,
@@ -484,9 +553,21 @@ def _serve_bench(args: argparse.Namespace) -> int:
         workload = ZipfianWorkload(store.num_entities, store.num_relations, spec)
         print(f"serving checkpoint {args.checkpoint}: {store}")
     else:
-        store, bundle = trained_store(
-            dataset=args.dataset, scale=args.scale, seed=args.seed, epochs=args.epochs
-        )
+        if args.deploy_every is not None:
+            store, bundle, trainer = trained_store(
+                dataset=args.dataset,
+                scale=args.scale,
+                seed=args.seed,
+                epochs=args.epochs,
+                with_trainer=True,
+            )
+        else:
+            store, bundle = trained_store(
+                dataset=args.dataset,
+                scale=args.scale,
+                seed=args.seed,
+                epochs=args.epochs,
+            )
         workload = ZipfianWorkload.from_graph(bundle.graph, spec)
         print(f"trained {args.dataset} @ scale {args.scale}: {store}")
         if args.backing == "tiered":
@@ -497,12 +578,25 @@ def _serve_bench(args: argparse.Namespace) -> int:
     capacity = max(
         2, int(args.hot_fraction * (store.num_entities + store.num_relations))
     )
-    if args.cache_policy == "none":
-        cache = None
-    elif args.cache_policy == "static":
-        cache = ServingCache.from_query_log(warmup, capacity)
-    else:
-        cache = ServingCache.dynamic(capacity, policy=args.cache_policy)
+
+    def _make_cache():
+        if args.cache_policy == "none":
+            return None
+        if args.cache_policy == "static":
+            return ServingCache.from_query_log(warmup, capacity)
+        return ServingCache.dynamic(capacity, policy=args.cache_policy)
+
+    cache = _make_cache()
+    label = args.cache_policy if cache is not None else "no-cache"
+    title = (
+        f"[serve-bench] {len(measured)} measured queries, "
+        f"cache capacity {capacity} rows"
+    )
+
+    if overload:
+        return _serve_bench_overload(
+            args, store, trainer, measured, cache, label, title
+        )
 
     def _run(cache_obj, label):
         return serve_once(
@@ -518,18 +612,9 @@ def _serve_bench(args: argparse.Namespace) -> int:
     rows = []
     if not args.no_baseline:
         rows.append(_run(None, "no-cache").as_row())
-    report = _run(cache, args.cache_policy if cache is not None else "no-cache")
+    report = _run(cache, label)
     rows.append(report.as_row())
-    print(
-        format_table(
-            ServingReport.headers(),
-            rows,
-            title=(
-                f"[serve-bench] {len(measured)} measured queries, "
-                f"cache capacity {capacity} rows"
-            ),
-        )
-    )
+    print(format_table(ServingReport.headers(), rows, title=title))
     print(
         f"throughput {report.throughput:.0f} q/s | "
         f"p50 {report.latency_p50 * 1e3:.3f} ms | "
@@ -537,6 +622,122 @@ def _serve_bench(args: argparse.Namespace) -> int:
         f"p99 {report.latency_p99 * 1e3:.3f} ms | "
         f"hit ratio {report.hit_ratio:.3f}"
     )
+    if args.backing == "tiered":
+        _print_memory_report(store.memory_report())
+    return 0
+
+
+def _serve_bench_overload(
+    args: argparse.Namespace, store, trainer, measured, cache, label, title
+) -> int:
+    """serve-bench with any of the overload knobs engaged.
+
+    Builds the frontend directly (admission/shedder/faults threaded in)
+    and, with ``--deploy-every``, replays the stream in chunks with an
+    atomic version swap published between chunks.
+    """
+    from repro.ps.network import NetworkModel
+    from repro.serving.admission import (
+        AdmissionController,
+        LoadShedder,
+        assign_tenants,
+    )
+    from repro.serving.batcher import QueryBatcher
+    from repro.serving.frontend import ServingFrontend
+    from repro.serving.metrics import ServingReport
+    from repro.utils.tables import format_table
+
+    fault_plan = None
+    if args.faults:
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan.parse(args.faults)
+    tenant_names = [
+        t.strip() for t in (args.tenants or "").split(",") if t.strip()
+    ]
+    if not tenant_names and args.admission is not None:
+        tenant_names = [
+            n for n in AdmissionController.parse(args.admission).specs if n != "*"
+        ]
+    queries = list(measured.queries)
+    if tenant_names:
+        queries = assign_tenants(queries, tenant_names)
+
+    serving_store = store
+    deploy = None
+    if args.deploy_every is not None:
+        from repro.serving.deploy import (
+            ContinuousDeployment,
+            VersionedStore,
+            snapshot_from_trainer,
+        )
+
+        serving_store = VersionedStore(snapshot_from_trainer(trainer))
+
+    frontend = ServingFrontend(
+        serving_store,
+        batcher=QueryBatcher(max_batch=args.max_batch, max_wait=args.max_wait),
+        cache=cache,
+        network=NetworkModel(),
+        byte_scale=args.byte_scale,
+        admission=(
+            AdmissionController.parse(args.admission)
+            if args.admission is not None
+            else None
+        ),
+        shedder=LoadShedder(slo=args.slo) if args.slo is not None else None,
+        faults=fault_plan,
+    )
+    if args.deploy_every is not None:
+        deploy = ContinuousDeployment(
+            serving_store, frontend, rewarm=not args.no_rewarm
+        )
+        for start in range(0, len(queries), args.deploy_every):
+            if start:
+                deploy.publish(trainer, step=start)
+            frontend.run(queries[start : start + args.deploy_every])
+        report = frontend.report(label=label)
+    else:
+        report = frontend.run(queries, label=label)
+
+    print(format_table(ServingReport.headers(), [report.as_row()], title=title))
+    print(
+        f"throughput {report.throughput:.0f} q/s | "
+        f"p50 {report.latency_p50 * 1e3:.3f} ms | "
+        f"p95 {report.latency_p95 * 1e3:.3f} ms | "
+        f"p99 {report.latency_p99 * 1e3:.3f} ms | "
+        f"hit ratio {report.hit_ratio:.3f}"
+    )
+    print(
+        f"outcomes: admitted {report.num_admitted} | "
+        f"rejected {report.num_rejected} | shed {report.num_shed} | "
+        f"timeout {report.num_timeout} | degraded {report.num_degraded}"
+    )
+    slo_note = f" (SLO {args.slo * 1e3:.1f} ms)" if args.slo is not None else ""
+    print(
+        f"shed rate {report.shed_rate:.3f} | "
+        f"goodput {report.goodput:.0f} q/s{slo_note}"
+    )
+    if report.tenant_p99:
+        print(
+            "tenant p99: "
+            + " | ".join(
+                f"{t}={v * 1e3:.3f} ms" for t, v in report.tenant_p99.items()
+            )
+        )
+    if frontend.injector is not None:
+        stats = frontend.injector.stats
+        print(
+            f"faults: retries={stats.retries}, "
+            f"retry wait={stats.retry_wait_seconds:.4f}s simulated"
+        )
+    if deploy is not None:
+        print(
+            f"deploy: {serving_store.swaps} swaps, "
+            f"staleness {serving_store.staleness} steps, "
+            f"{deploy.warm_traffic.total_bytes / 1e6:.3f} MB re-warm traffic"
+            + (" (re-warming off)" if args.no_rewarm else "")
+        )
     if args.backing == "tiered":
         _print_memory_report(store.memory_report())
     return 0

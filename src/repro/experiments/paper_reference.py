@@ -258,5 +258,20 @@ PAPER_REFERENCES: dict[str, PaperReference] = {
             "the budget and the unlimited-budget tiered trainer is "
             "bit-identical to the resident one",
         ),
+        PaperReference(
+            "serving-scale",
+            "(extension beyond the paper)",
+            "n/a — the paper serves its cache inside training capacity; "
+            "this drives a multi-tenant inference frontend past saturation "
+            "with token-bucket admission control, a deadline-projecting "
+            "shed ladder (full -> truncated top-k -> shed), fault-injected "
+            "shard pulls, and mid-stream checkpoint swaps with pre-swap "
+            "cache re-warming.",
+            "shed rate rises monotonically past saturation while the p99 "
+            "of admitted queries stays inside the SLO; a PS-outage window "
+            "meters retries instead of raising; a re-warmed version swap "
+            "holds the post-swap hit ratio within 10% of the pre-swap "
+            "window while the naive invalidate-only swap shows the cliff",
+        ),
     ]
 }

@@ -27,6 +27,7 @@ from repro.experiments.efficiency import run_fig5, run_fig6, run_fig7
 from repro.experiments.fault_tolerance import run_fault_tolerance
 from repro.experiments.memory_tiering import run_memory_tiering
 from repro.experiments.microbench import run_fig2, run_table1, run_table2
+from repro.experiments.serving_scale import run_serving_scale
 from repro.experiments.serving_study import run_serving_batcher, run_serving_cache
 from repro.experiments.streaming_drift import run_streaming_drift
 
@@ -55,6 +56,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ablation-model-zoo": run_model_zoo,
     "serving-cache": run_serving_cache,
     "serving-batcher": run_serving_batcher,
+    "serving-scale": run_serving_scale,
     "fault-tolerance": run_fault_tolerance,
     "streaming-drift": run_streaming_drift,
     "memory-tiering": run_memory_tiering,

@@ -43,18 +43,24 @@ def trained_store(
     seed: int = 0,
     epochs: int = 2,
     bundle: DatasetBundle | None = None,
-) -> tuple[EmbeddingStore, DatasetBundle]:
+    with_trainer: bool = False,
+):
     """Train HET-KG-D briefly and wrap its tables in a serving store.
 
     The store shares the trainer's METIS ownership map, so serving-side
-    shard locality matches the training partition.
+    shard locality matches the training partition.  With ``with_trainer``
+    the trainer itself is returned too (the continuous-deployment path
+    snapshots fresh checkpoints and hot membership from it).
     """
     if bundle is None:
         bundle = dataset_bundle(dataset, scale=scale, seed=seed)
     config = base_config(epochs=epochs, seed=seed)
     trainer = make_trainer("hetkg-d", config)
     trainer.train(bundle.split.train)
-    return EmbeddingStore.from_trainer(trainer), bundle
+    store = EmbeddingStore.from_trainer(trainer)
+    if with_trainer:
+        return store, bundle, trainer
+    return store, bundle
 
 
 def split_warmup(log: QueryLog, fraction: float = WARMUP_FRACTION) -> tuple[QueryLog, QueryLog]:

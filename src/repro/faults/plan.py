@@ -18,6 +18,12 @@ The CLI accepts a compact spec (see :meth:`FaultPlan.parse`)::
     crash=w1@25                   # machine 1 crashes at its 25th step
     ps-out=0@30:40                # PS shard 0 unavailable in the window
     seed=7,retries=6,restart-delay=2.5
+    retries=4x0.004               # 4 attempts, 4 ms RPC timeout (serving-scale)
+
+:meth:`FaultPlan.to_spec` is the exact inverse: it renders a plan back
+into the grammar such that ``FaultPlan.parse(plan.to_spec()) == plan``
+for every grammar-expressible plan (per-machine window restrictions and
+exotic retry/recovery parameters have no spelling and raise).
 """
 
 from __future__ import annotations
@@ -233,6 +239,74 @@ class FaultPlan:
         """A copy with some fields replaced (re-validated)."""
         return replace(self, **kwargs)
 
+    def to_spec(self) -> str:
+        """Render the plan back into the ``--faults`` grammar.
+
+        The exact inverse of :meth:`parse`:
+        ``FaultPlan.parse(plan.to_spec()) == plan`` for every plan the
+        grammar can express.  Plans that tune what the grammar cannot
+        spell — per-machine drop/delay window restrictions, retry fields
+        beyond ``max_attempts``/``timeout``, a non-default
+        ``recovery_bandwidth`` — raise :class:`ValueError` rather than
+        silently dropping the inexpressible part.
+        """
+
+        def fmt(value: float) -> str:
+            return repr(float(value))
+
+        def win(start: int, stop: int | None) -> str:
+            if start == 1 and stop is None:
+                return ""
+            return f"@{start}:{'' if stop is None else stop}"
+
+        clauses: list[str] = []
+        if self.seed:
+            clauses.append(f"seed={self.seed}")
+        default_retry = RetryPolicy()
+        if self.retry != default_retry:
+            expressible = replace(
+                self.retry,
+                max_attempts=default_retry.max_attempts,
+                timeout=default_retry.timeout,
+            )
+            if expressible != default_retry:
+                raise ValueError(
+                    "retry policy tunes fields the --faults grammar cannot "
+                    "express (only max_attempts and timeout have spellings)"
+                )
+            clause = f"retries={self.retry.max_attempts}"
+            if self.retry.timeout != default_retry.timeout:
+                clause += f"x{fmt(self.retry.timeout)}"
+            clauses.append(clause)
+        if self.restart_delay != 1.0:
+            clauses.append(f"restart-delay={fmt(self.restart_delay)}")
+        if self.recovery_bandwidth != 200e6:
+            raise ValueError("recovery_bandwidth has no --faults spelling")
+        for w in self.drops:
+            if w.machines is not None:
+                raise ValueError(
+                    "per-machine drop windows have no --faults spelling"
+                )
+            clauses.append(f"drop={fmt(w.probability)}{win(w.start, w.stop)}")
+        for w in self.delays:
+            if w.machines is not None:
+                raise ValueError(
+                    "per-machine delay windows have no --faults spelling"
+                )
+            clauses.append(
+                f"delay={fmt(w.probability)}x{fmt(w.delay)}{win(w.start, w.stop)}"
+            )
+        for w in self.stragglers:
+            clauses.append(
+                f"slow=w{w.machine}x{fmt(w.slowdown)}{win(w.start, w.stop)}"
+            )
+        for event in self.crashes:
+            clauses.append(f"crash=w{event.machine}@{event.iteration}")
+        for w in self.outages:
+            stop = "" if w.stop is None else w.stop
+            clauses.append(f"ps-out={w.shard}@{w.start}:{stop}")
+        return ",".join(clauses)
+
     # ----------------------------------------------------------- constructors
 
     @classmethod
@@ -282,7 +356,10 @@ class FaultPlan:
                 if key == "seed":
                     seed = int(value)
                 elif key == "retries":
-                    retry = replace(retry, max_attempts=int(value))
+                    attempts_s, sep_x, timeout_s = value.partition("x")
+                    retry = replace(retry, max_attempts=int(attempts_s))
+                    if sep_x:
+                        retry = replace(retry, timeout=float(timeout_s))
                 elif key == "restart-delay":
                     restart_delay = float(value)
                 elif key == "drop":
@@ -310,11 +387,11 @@ class FaultPlan:
                     start, stop = window(win_text)
                     outages.append(OutageWindow(int(body), start, stop))
                 else:
-                    raise ValueError(f"unknown fault clause key {key!r}")
-            except ValueError:
-                raise
-            except Exception as exc:  # int()/float() parse failures
-                raise ValueError(f"could not parse fault clause {clause!r}: {exc}") from exc
+                    raise ValueError(f"unknown clause key {key!r}")
+            except ValueError as exc:
+                # Every failure — bad number, bad window, out-of-range
+                # value, unknown key — names the offending clause.
+                raise ValueError(f"bad fault clause {clause!r}: {exc}") from exc
         return cls(
             seed=seed,
             drops=tuple(drops),

@@ -185,6 +185,39 @@ class ServingCache:
             else:
                 table.clear()
 
+    def rewarmed(self, hot_set: HotSet) -> "ServingCache":
+        """Adopt a new hot membership, preserving capacity and policy.
+
+        The cache keeps its configured shape: a static table re-pins the
+        new membership (capped to the table's capacity — the hot-set
+        arrays are ordered hottest-first, so the cap keeps the hottest
+        prefix), a dynamic table clears and pre-admits the capped
+        membership through its normal admission path, so the policy's own
+        ordering state (recency lists, clock bits, ARC queues) starts
+        warm rather than being silently replaced by an uncapped static
+        pin.  Cumulative hit/miss counters survive, so mid-run re-warms
+        keep the reported hit ratio continuous.
+
+        Returns ``self`` for chaining.
+        """
+        for kind, ids in (
+            ("entity", hot_set.entities),
+            ("relation", hot_set.relations),
+        ):
+            table = self._tables[kind]
+            members = [int(i) for i in ids][: table.capacity]
+            if isinstance(table.strategy, PinnedStrategy):
+                table.strategy.install(members)
+            else:
+                hits_before, misses_before = table.hits, table.misses
+                table.clear()
+                for key in members:
+                    table.access(key)
+                # Pre-admission is background warming, not served traffic:
+                # keep the table's own meters where they were.
+                table.hits, table.misses = hits_before, misses_before
+        return self
+
     def reset_stats(self) -> None:
         self.hits = 0
         self.misses = 0

@@ -1,0 +1,166 @@
+"""Retrying shard-pull channel between a frontend and the embedding store.
+
+The serving analogue of :class:`repro.faults.rpc.FaultyPSChannel`: every
+cache-miss pull consults the deterministic
+:class:`~repro.faults.injector.FaultInjector` per attempt —
+
+* **PS-shard outage** — an attempt touching a shard inside an
+  :class:`~repro.faults.plan.OutageWindow` fails deterministically;
+* **drop** — an attempt drops with the window's probability, drawn from
+  the injector's per-machine seeded stream;
+* **delay** — a successful attempt charges extra in-flight seconds.
+
+Every failed attempt meters its wasted wire traffic as
+``CommRecord.retransmit_bytes`` and charges the RPC timeout plus a
+jittered exponential backoff to the **serving** clock under
+``"communication"`` (inside ``rpc.retry_wait`` spans), so fault overhead
+lands directly in the frontend's latency distribution: queries queued
+behind a retrying batch see their projected completion rise, which the
+:class:`~repro.serving.admission.LoadShedder` turns into shed traffic —
+overload degradation instead of an exception.
+
+When the whole retry budget burns without reaching the shard, the pull
+**gives up** (returns ``ok=False``): the frontend completes the batch's
+queries with the first-class ``timeout`` outcome.  Serving has no
+failover replica to force through to — a timed-out answer is simply not
+served, which is exactly what a deadline-bound client observes.
+
+Batches, not training steps, index the fault windows here: batch ``k``
+(1-based) is "iteration ``k``" for window/crash matching purposes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.injector import FaultInjector
+from repro.obs.tracer import NULL_SCOPE
+from repro.ps.network import BYTES_PER_ELEMENT, CommRecord
+from repro.utils.simclock import SimClock
+
+
+class FaultyShardChannel:
+    """Per-frontend retrying pull path over the sharded embedding store.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.serving.store.EmbeddingStore` (or a
+        :class:`~repro.serving.deploy.VersionedStore`) owning the shard map.
+    machine:
+        The frontend's co-located shard (its fault stream, its clock).
+    injector:
+        The cluster-wide deterministic fault source.
+    clock:
+        The frontend's simulated clock; timeouts/backoffs/delays are
+        charged here under ``"communication"``.
+    byte_scale:
+        Wire-dimension byte multiplier (mirrors the frontend's).
+    """
+
+    def __init__(
+        self,
+        store,
+        machine: int,
+        injector: FaultInjector,
+        clock: SimClock,
+        byte_scale: float = 1.0,
+    ) -> None:
+        self.store = store
+        self.machine = machine
+        self.injector = injector
+        self.policy = injector.plan.retry
+        self.clock = clock
+        self.byte_scale = byte_scale
+        #: Current batch index (1-based), set by the frontend before each
+        #: dispatch so fault windows line up with serving progress.
+        self.iteration = 0
+        #: Observability scope, bound by the frontend.
+        self.trace = NULL_SCOPE
+
+    # -------------------------------------------------------------- metering
+
+    def meter(self, kind: str, miss_ids: np.ndarray) -> CommRecord:
+        """Traffic to pull ``miss_ids`` to this frontend (same accounting
+        as :meth:`repro.serving.frontend.ServingFrontend._meter`)."""
+        store = self.store.store
+        row_bytes = store.row_width(kind) * BYTES_PER_ELEMENT * self.byte_scale
+        local_ids, remote_ids = store.split_local_remote(
+            kind, miss_ids, self.machine
+        )
+        remote_shards = store.remote_machine_count(kind, miss_ids, self.machine)
+        return CommRecord(
+            local_bytes=int(len(local_ids) * row_bytes),
+            remote_bytes=int(len(remote_ids) * row_bytes),
+            local_messages=1 if len(local_ids) else 0,
+            remote_messages=remote_shards,
+        )
+
+    def touched_shards(self, kind: str, ids: np.ndarray) -> np.ndarray:
+        return np.unique(self.store.store.owners(kind, ids))
+
+    # ----------------------------------------------------------------- pulls
+
+    def pull(self, kind: str, miss_ids: np.ndarray) -> tuple[CommRecord, bool]:
+        """Attempt one miss pull through faults: ``(comm, ok)``.
+
+        ``ok=False`` means the retry budget is exhausted — the caller
+        times the batch out.  All failed-attempt traffic is already
+        merged into ``comm`` (as retransmits) and all waiting time is
+        already on the clock.
+        """
+        comm = CommRecord()
+        attempt = 0
+        while attempt < self.policy.max_attempts:
+            attempt += 1
+            if self._attempt_fails(kind, miss_ids):
+                self._record_failure(comm, kind, miss_ids, attempt)
+                continue
+            comm.merge(self.meter(kind, miss_ids))
+            self._apply_delay()
+            return comm, True
+        return comm, False
+
+    # -------------------------------------------------------------- internal
+
+    def _attempt_fails(self, kind: str, ids: np.ndarray) -> bool:
+        injector = self.injector
+        if injector.plan.outages and injector.ps_unavailable(
+            self.touched_shards(kind, ids), self.iteration
+        ):
+            return True
+        return injector.should_drop(self.machine, self.iteration)
+
+    def _record_failure(
+        self, comm: CommRecord, kind: str, ids: np.ndarray, attempt: int
+    ) -> None:
+        wasted = self.meter(kind, ids)
+        wasted.retransmit_bytes = wasted.total_bytes
+        comm.merge(wasted)
+        self.injector.stats.retries += 1
+        self.trace.count("rpc.retries")
+        backoff = self.policy.backoff(attempt)
+        if backoff > 0.0 and self.policy.backoff_jitter > 0.0:
+            backoff *= 1.0 + self.policy.backoff_jitter * self.injector.backoff_jitter(
+                self.machine
+            )
+        self._wait(self.policy.timeout + backoff)
+
+    def _wait(self, seconds: float) -> None:
+        if seconds <= 0.0:
+            return
+        self.injector.stats.retry_wait_seconds += seconds
+        with self.trace.span("rpc.retry_wait", "communication") as span:
+            self.clock.advance(seconds, "communication")
+            span.set(seconds=seconds)
+
+    def _apply_delay(self) -> None:
+        plan = self.injector.plan
+        if not plan.delays:
+            return
+        extra = self.injector.delay_seconds(self.machine, self.iteration)
+        if extra > 0.0:
+            self.trace.count("rpc.delays")
+            with self.trace.span("rpc.injected_delay", "communication") as span:
+                self.clock.advance(extra, "communication")
+                span.set(seconds=extra)

@@ -18,10 +18,28 @@ flush-on-timeout events fire at exact batcher deadlines, and a busy
 server naturally queues work (a batch triggered at time *t* starts at
 ``max(clock, t)``; the gap is accounted as queueing inside each query's
 latency).
+
+Overload robustness (all opt-in; the plain path is bit-identical with
+every knob off):
+
+* ``admission`` — an :class:`~repro.serving.admission.AdmissionController`
+  gates each arrival through its tenant's token bucket *before* the
+  batcher; refused queries complete instantly with the first-class
+  ``rejected`` outcome.
+* ``shedder`` — a :class:`~repro.serving.admission.LoadShedder` projects
+  each admitted arrival's completion from the backlog and sheds or
+  degrades (truncated top-k) along its ladder; shed queries complete
+  instantly with the ``shed`` outcome.
+* ``faults`` — a :class:`~repro.faults.plan.FaultPlan` routes every
+  cache-miss pull through a retrying
+  :class:`~repro.serving.channel.FaultyShardChannel`; retry waits land
+  on the serving clock, and a batch whose retry budget burns out
+  completes with the ``timeout`` outcome instead of raising.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -33,10 +51,23 @@ from repro.ps.network import (
     ComputeModel,
     NetworkModel,
 )
+from repro.serving.admission import (
+    DEGRADED,
+    SHED_DECISION,
+    AdmissionController,
+    LoadShedder,
+)
 from repro.serving.batcher import QueryBatcher
 from repro.serving.cache import ServingCache
 from repro.serving.metrics import ServingReport, aggregate_results
-from repro.serving.queries import SCORE, Query, QueryResult
+from repro.serving.queries import (
+    REJECTED,
+    SCORE,
+    SHED,
+    TIMEOUT,
+    Query,
+    QueryResult,
+)
 from repro.serving.store import EmbeddingStore
 from repro.utils.simclock import SimClock
 
@@ -47,7 +78,9 @@ class ServingFrontend:
     Parameters
     ----------
     store:
-        The trained embeddings + model.
+        The trained embeddings + model (an
+        :class:`~repro.serving.store.EmbeddingStore` or a
+        :class:`~repro.serving.deploy.VersionedStore`).
     batcher:
         Micro-batching policy (default: batches of 32, 2 ms max wait).
     cache:
@@ -68,6 +101,8 @@ class ServingFrontend:
         Observability tracer (:mod:`repro.obs`); defaults to the
         process-wide tracer installed by ``--trace`` (zero-cost when
         none is installed).
+    admission / shedder / faults:
+        The overload layer (see the module docstring); all default off.
     """
 
     def __init__(
@@ -81,6 +116,9 @@ class ServingFrontend:
         top_k: int = 10,
         byte_scale: float = 1.0,
         tracer: Tracer | None = None,
+        admission: AdmissionController | None = None,
+        shedder: LoadShedder | None = None,
+        faults=None,
     ) -> None:
         if byte_scale <= 0:
             raise ValueError(f"byte_scale must be positive, got {byte_scale}")
@@ -102,6 +140,21 @@ class ServingFrontend:
         self.comm_totals = CommRecord()
         active = tracer if tracer is not None else get_tracer()
         self.trace = active.scope(f"serving@{machine}", self.clock)
+        self.admission = admission
+        self.shedder = shedder
+        self.injector = None
+        self.channel = None
+        if faults is not None:
+            from repro.faults.injector import FaultInjector
+            from repro.serving.channel import FaultyShardChannel
+
+            self.injector = FaultInjector(faults)
+            self.channel = FaultyShardChannel(
+                store, machine, self.injector, self.clock, byte_scale=byte_scale
+            )
+            self.channel.trace = self.trace
+        self._batches_dispatched = 0
+        self._degraded_qids: set[int] = set()
 
     # ------------------------------------------------------------- warm start
 
@@ -110,9 +163,16 @@ class ServingFrontend:
 
         The streaming handoff: an :class:`~repro.stream.ingest.OnlineTrainer`
         that tracked a drifting workload leaves its workers' hot tables
-        holding exactly the currently-hot ids — pinning that membership
-        here means the serving tier starts warm on the distribution the
-        stream was last serving, instead of re-profiling from scratch.
+        holding exactly the currently-hot ids — warming from that
+        membership means the serving tier starts warm on the distribution
+        the stream was last serving, instead of re-profiling from scratch.
+
+        When a serving cache is already configured, its **shape is
+        preserved**: :meth:`ServingCache.rewarmed` re-pins (static) or
+        pre-admits (dynamic) the membership under the existing capacity
+        and policy, capping the membership to the capacity.  Only with no
+        cache configured does this install a fresh static cache pinning
+        the whole membership (the historical behaviour).
 
         ``cache`` is a :class:`~repro.cache.sync.HotEmbeddingCache` (or
         anything exposing ``cached_ids(kind)``).
@@ -123,7 +183,10 @@ class ServingFrontend:
             entities=np.asarray(cache.cached_ids("entity"), dtype=np.int64),
             relations=np.asarray(cache.cached_ids("relation"), dtype=np.int64),
         )
-        self.cache = ServingCache.static(hot)
+        if self.cache is None:
+            self.cache = ServingCache.static(hot)
+        else:
+            self.cache.rewarmed(hot)
 
     # -------------------------------------------------------------- event loop
 
@@ -143,6 +206,9 @@ class ServingFrontend:
                 batch = self.batcher.poll(deadline)
                 assert batch, "deadline implies a pending batch"
                 self._process(batch, trigger=deadline, reason="timeout")
+            query = self._admit(query)
+            if query is None:
+                continue
             full = self.batcher.offer(query)
             if full:
                 self._process(full, trigger=query.arrival, reason="full")
@@ -157,6 +223,67 @@ class ServingFrontend:
             )
         return self.report(label=label)
 
+    # -------------------------------------------------------------- admission
+
+    def _admit(self, query: Query) -> Query | None:
+        """Run one arrival through the overload gates.
+
+        Returns the (possibly degraded) query to enqueue, or ``None``
+        when it was rejected/shed — in which case its first-class
+        :class:`QueryResult` has already been recorded.  With neither
+        gate configured this is a single-comparison fast path, keeping
+        the plain serving loop bit-identical to the pre-overload one.
+        """
+        if self.admission is None and self.shedder is None:
+            return query
+        if self.admission is not None and not self.admission.admit(
+            query.tenant, query.arrival
+        ):
+            self._finish_unserved(query, REJECTED)
+            self.trace.count("serve.rejected")
+            return None
+        if self.shedder is not None:
+            priority = (
+                self.admission.priority(query.tenant)
+                if self.admission is not None
+                else 0
+            )
+            projected = self.shedder.projected_latency(
+                query.arrival,
+                self.clock.elapsed,
+                len(self.batcher),
+                self.batcher.max_wait,
+            )
+            decision = self.shedder.assess(priority, projected)
+            if decision == SHED_DECISION:
+                self._finish_unserved(query, SHED)
+                self.trace.count("serve.shed")
+                return None
+            if decision == DEGRADED and len(query.candidates) > 1:
+                truncated = self.shedder.truncated_candidates(query.candidates)
+                if len(truncated) < len(query.candidates):
+                    query = replace(query, candidates=truncated)
+                    self._degraded_qids.add(query.qid)
+                    self.trace.count("serve.degraded")
+        return query
+
+    def _finish_unserved(self, query: Query, outcome: str) -> None:
+        """Record a rejection/shed: completes instantly, answerless."""
+        self.results.append(
+            QueryResult(
+                qid=query.qid,
+                kind=query.kind,
+                arrival=query.arrival,
+                completion=query.arrival,
+                batch_size=0,
+                answer=None,
+                outcome=outcome,
+                tenant=query.tenant,
+            )
+        )
+
+    # --------------------------------------------------------------- dispatch
+
     def _process(
         self, batch: Sequence[Query], trigger: float, reason: str = "full"
     ) -> None:
@@ -165,7 +292,10 @@ class ServingFrontend:
             # Server idle until the batch was triggered.
             with self.trace.span("serve.idle", "idle"):
                 self.clock.advance(trigger - self.clock.elapsed, "idle")
+        self._batches_dispatched += 1
+        service_start = self.clock.elapsed
 
+        pulled_ok = True
         with self.trace.span("serve.fetch", "communication") as span:
             entity_ids = np.unique(np.concatenate([q.entity_ids() for q in batch]))
             relation_ids = np.unique(
@@ -173,6 +303,8 @@ class ServingFrontend:
             )
             comm = CommRecord()
             misses = 0
+            if self.channel is not None:
+                self.channel.iteration = self._batches_dispatched
             for kind, ids in (("entity", entity_ids), ("relation", relation_ids)):
                 if self.cache is not None:
                     hit_mask = self.cache.lookup(kind, ids)
@@ -180,28 +312,69 @@ class ServingFrontend:
                 else:
                     miss_ids = ids
                 if len(miss_ids):
-                    comm.merge(self._meter(kind, miss_ids))
+                    if self.channel is not None:
+                        pulled, ok = self.channel.pull(kind, miss_ids)
+                        comm.merge(pulled)
+                        if not ok:
+                            pulled_ok = False
+                            break
+                    else:
+                        comm.merge(self._meter(kind, miss_ids))
                 misses += len(miss_ids)
             self.comm_totals.merge(comm)
-            self.clock.advance(self.network.charge(comm), "communication")
+            if pulled_ok:
+                self.clock.advance(self.network.charge(comm), "communication")
             span.set(
                 batch=len(batch), misses=misses, bytes=comm.total_bytes, reason=reason
             )
 
+        if not pulled_ok:
+            # Retry budget exhausted mid-pull: the whole batch times out
+            # at the post-retry clock.  No scores are computed, no compute
+            # time is charged — the client simply never gets an answer.
+            self.trace.count("serve.batches")
+            self.trace.count(f"serve.flush.{reason}")
+            self.trace.count("serve.timeouts", len(batch))
+            completion = self.clock.elapsed
+            for query in batch:
+                self._degraded_qids.discard(query.qid)
+                self.results.append(
+                    QueryResult(
+                        qid=query.qid,
+                        kind=query.kind,
+                        arrival=query.arrival,
+                        completion=completion,
+                        batch_size=len(batch),
+                        answer=None,
+                        outcome=TIMEOUT,
+                        tenant=query.tenant,
+                    )
+                )
+            if self.shedder is not None:
+                self.shedder.observe_batch(
+                    len(batch), self.clock.elapsed - service_start
+                )
+            return
+
         with self.trace.span("serve.compute", "compute") as span:
             num_scores = sum(q.num_scores for q in batch)
-            self.clock.advance(
-                self.compute.batch_time(
-                    num_scores, self.store.model.dim, backward=False
-                ),
-                "compute",
+            compute_time = self.compute.batch_time(
+                num_scores, self.store.model.dim, backward=False
             )
+            if self.injector is not None:
+                compute_time *= self.injector.straggler_factor(
+                    self.machine, self._batches_dispatched
+                )
+            self.clock.advance(compute_time, "compute")
             span.set(batch=len(batch), scores=num_scores)
         self.trace.count("serve.batches")
         self.trace.count(f"serve.flush.{reason}")
         self.trace.count("serve.queries", len(batch))
         completion = self.clock.elapsed
         for query in batch:
+            degraded = query.qid in self._degraded_qids
+            if degraded:
+                self._degraded_qids.discard(query.qid)
             self.results.append(
                 QueryResult(
                     qid=query.qid,
@@ -210,7 +383,13 @@ class ServingFrontend:
                     completion=completion,
                     batch_size=len(batch),
                     answer=self._answer(query),
+                    tenant=query.tenant,
+                    degraded=degraded,
                 )
+            )
+        if self.shedder is not None:
+            self.shedder.observe_batch(
+                len(batch), self.clock.elapsed - service_start
             )
 
     def _meter(self, kind: str, miss_ids: np.ndarray) -> CommRecord:
@@ -267,4 +446,7 @@ class ServingFrontend:
             compute_time=self.clock.category("compute"),
             communication_time=self.clock.category("communication"),
             idle_time=self.clock.category("idle"),
+            slo=self.shedder.slo if self.shedder is not None else None,
+            staleness=int(getattr(self.store, "staleness", 0)),
+            version_swaps=int(getattr(self.store, "swaps", 0)),
         )

@@ -6,6 +6,17 @@ throughput while the tail is governed by ``max_wait`` plus queueing.
 This module aggregates per-query completions into the standard SLO
 report: throughput, p50/p95/p99, hit ratio, and the communication
 footprint of the misses.
+
+With the overload layer (:mod:`repro.serving.admission`) a query can
+end ``rejected``/``shed``/``timeout`` instead of ``admitted``, so the
+report distinguishes **offered** load (every query, ``num_queries``)
+from **served** load: latency percentiles are computed over admitted
+completions only (a shed query "completes" instantly at its decision
+point and would otherwise drag the percentiles toward zero exactly when
+the server is drowning).  ``shed_rate`` and ``goodput`` — admitted
+queries finishing inside the SLO, per second — are the overload
+headline numbers; per-tenant p99 exposes whether admission control
+actually isolated the tenants.
 """
 
 from __future__ import annotations
@@ -16,7 +27,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.ps.network import CommRecord
-from repro.serving.queries import QueryResult
+from repro.serving.queries import ADMITTED, REJECTED, SHED, TIMEOUT, QueryResult
 
 
 def latency_percentile(latencies: Sequence[float], q: float) -> float:
@@ -51,13 +62,48 @@ class ServingReport:
     compute_time: float = 0.0
     communication_time: float = 0.0
     idle_time: float = 0.0
+    #: Outcome split of the offered queries (sums to ``num_queries``).
+    num_admitted: int = 0
+    num_rejected: int = 0
+    num_shed: int = 0
+    num_timeout: int = 0
+    #: Admitted queries answered with a truncated top-k (degraded rung).
+    num_degraded: int = 0
+    #: Admitted queries that finished within the SLO (= ``num_admitted``
+    #: when no SLO was configured).
+    num_good: int = 0
+    #: The latency objective the run was judged against (``None`` = none).
+    slo: float | None = None
+    #: p99 latency of admitted completions per (non-anonymous) tenant.
+    tenant_p99: dict[str, float] = field(default_factory=dict)
+    #: Staleness of the served embeddings at report time: trainer steps
+    #: the active version lags the freshest published checkpoint.
+    staleness: int = 0
+    #: Version swaps the frontend served across.
+    version_swaps: int = 0
 
     @property
     def throughput(self) -> float:
-        """Served queries per simulated second."""
+        """Offered queries completed per simulated second."""
         if self.duration <= 0.0:
             return 0.0
         return self.num_queries / self.duration
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered queries not served in full or degraded
+        form (rejected + shed + timed out)."""
+        if self.num_queries == 0:
+            return 0.0
+        unserved = self.num_rejected + self.num_shed + self.num_timeout
+        return unserved / self.num_queries
+
+    @property
+    def goodput(self) -> float:
+        """Admitted-and-within-SLO queries per simulated second."""
+        if self.duration <= 0.0:
+            return 0.0
+        return self.num_good / self.duration
 
     def as_row(self) -> list:
         """Columns for the benchmark tables (see ``headers()``)."""
@@ -65,12 +111,15 @@ class ServingReport:
             self.label,
             self.num_queries,
             self.throughput,
+            self.latency_mean * 1e3,
             self.latency_p50 * 1e3,
             self.latency_p95 * 1e3,
             self.latency_p99 * 1e3,
             self.hit_ratio,
             self.comm.remote_bytes / 1e6,
             self.mean_batch_size,
+            self.shed_rate,
+            self.goodput,
         ]
 
     @staticmethod
@@ -79,12 +128,15 @@ class ServingReport:
             "config",
             "queries",
             "qps",
+            "mean (ms)",
             "p50 (ms)",
             "p95 (ms)",
             "p99 (ms)",
             "hit ratio",
             "remote MB",
             "batch size",
+            "shed rate",
+            "goodput",
         ]
 
 
@@ -98,15 +150,35 @@ def aggregate_results(
     compute_time: float = 0.0,
     communication_time: float = 0.0,
     idle_time: float = 0.0,
+    slo: float | None = None,
+    staleness: int = 0,
+    version_swaps: int = 0,
 ) -> ServingReport:
-    """Fold per-query completion records into a :class:`ServingReport`."""
-    latencies = [r.latency for r in results]
+    """Fold per-query completion records into a :class:`ServingReport`.
+
+    ``results`` covers every *offered* query; latency statistics are
+    computed over the admitted subset.  ``duration`` spans all records
+    (first arrival to last completion), so throughput reflects the
+    offered stream.  When every result is admitted — the pre-overload
+    serving path — the numbers are bit-identical to the historical
+    aggregation.
+    """
+    admitted = [r for r in results if r.outcome == ADMITTED]
+    latencies = [r.latency for r in admitted]
     if results:
         start = min(r.arrival for r in results)
         end = max(r.completion for r in results)
         duration = max(end - start, 0.0)
     else:
         duration = 0.0
+    if slo is None:
+        num_good = len(admitted)
+    else:
+        num_good = sum(1 for lat in latencies if lat <= slo)
+    by_tenant: dict[str, list[float]] = {}
+    for r in admitted:
+        if r.tenant:
+            by_tenant.setdefault(r.tenant, []).append(r.latency)
     return ServingReport(
         label=label,
         num_queries=len(results),
@@ -123,4 +195,17 @@ def aggregate_results(
         compute_time=compute_time,
         communication_time=communication_time,
         idle_time=idle_time,
+        num_admitted=len(admitted),
+        num_rejected=sum(1 for r in results if r.outcome == REJECTED),
+        num_shed=sum(1 for r in results if r.outcome == SHED),
+        num_timeout=sum(1 for r in results if r.outcome == TIMEOUT),
+        num_degraded=sum(1 for r in admitted if r.degraded),
+        num_good=num_good,
+        slo=slo,
+        tenant_p99={
+            tenant: latency_percentile(lats, 99.0)
+            for tenant, lats in sorted(by_tenant.items())
+        },
+        staleness=staleness,
+        version_swaps=version_swaps,
     )

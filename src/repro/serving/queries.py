@@ -26,6 +26,15 @@ SCORE, TAIL_PREDICTION, HEAD_PREDICTION = "score", "tail", "head"
 
 QUERY_KINDS = (SCORE, TAIL_PREDICTION, HEAD_PREDICTION)
 
+#: Recognised query outcomes (see :mod:`repro.serving.admission`):
+#: ``admitted`` — served in full (or degraded; see ``QueryResult.degraded``),
+#: ``rejected`` — refused up front by a tenant's token bucket,
+#: ``shed``     — dropped by the load shedder to protect the SLO,
+#: ``timeout``  — admitted but the shard pull burned its retry budget.
+ADMITTED, REJECTED, SHED, TIMEOUT = "admitted", "rejected", "shed", "timeout"
+
+OUTCOMES = (ADMITTED, REJECTED, SHED, TIMEOUT)
+
 
 @dataclass(frozen=True)
 class Query:
@@ -45,6 +54,10 @@ class Query:
     tail: int
     arrival: float
     candidates: tuple[int, ...] = ()
+    #: Multi-tenant serving: which tenant issued the query.  The empty
+    #: string is the anonymous single-tenant default and is exempt from
+    #: admission control unless the controller defines a ``*`` bucket.
+    tenant: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in QUERY_KINDS:
@@ -78,7 +91,14 @@ class Query:
 
 @dataclass
 class QueryResult:
-    """Completion record for one served query."""
+    """Completion record for one served query.
+
+    Every offered query produces exactly one record, whatever its fate:
+    rejected and shed queries complete instantly at the decision point
+    with ``answer=None``; timed-out queries complete when their batch's
+    retry budget exhausted.  Only ``outcome == ADMITTED`` records carry a
+    real answer and count toward the latency percentiles.
+    """
 
     qid: int
     kind: str
@@ -86,8 +106,16 @@ class QueryResult:
     completion: float
     batch_size: int
     #: ``score`` queries: the scalar score.  Prediction queries: top-k
-    #: candidate entity ids, best first.
-    answer: float | np.ndarray = 0.0
+    #: candidate entity ids, best first.  ``None`` for queries that were
+    #: rejected, shed, or timed out.
+    answer: float | np.ndarray | None = 0.0
+    #: One of :data:`OUTCOMES`.
+    outcome: str = ADMITTED
+    #: Issuing tenant ("" = anonymous single-tenant traffic).
+    tenant: str = ""
+    #: True when the shed ladder served a truncated top-k instead of the
+    #: full candidate set (outcome stays ``admitted``).
+    degraded: bool = False
 
     @property
     def latency(self) -> float:

@@ -1,0 +1,121 @@
+"""Capture the serving-frontend golden fingerprint used by test_serving_scale.py.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/golden/capture_serving.py
+
+``serving_golden.json`` pins the *pre-overload-layer* outputs of a seeded
+serve-bench scenario (report numbers, per-category sim clock, comm totals)
+down to the last bit: floats are stored via ``float.hex()``.  The
+overload-robust frontend (admission control, load shedding, fault channel,
+versioned deployment) must reproduce every value exactly when all of those
+features are disabled — ``faults=none``, no tenants, admission off.
+
+Regenerate only when a PR *intentionally* changes the plain serving path.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2] / "src"))
+
+from repro.core.config import TrainingConfig  # noqa: E402
+from repro.core.trainer import make_trainer  # noqa: E402
+from repro.kg.datasets import generate_dataset  # noqa: E402
+from repro.kg.splits import split_triples  # noqa: E402
+from repro.serving.batcher import QueryBatcher  # noqa: E402
+from repro.serving.cache import ServingCache  # noqa: E402
+from repro.serving.frontend import ServingFrontend  # noqa: E402
+from repro.serving.queries import QueryLog  # noqa: E402
+from repro.serving.store import EmbeddingStore  # noqa: E402
+from repro.serving.workload import WorkloadSpec, ZipfianWorkload  # noqa: E402
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "serving_golden.json"
+
+
+def golden_store() -> tuple[EmbeddingStore, ZipfianWorkload]:
+    graph = generate_dataset("fb15k", scale=0.02, seed=3)
+    split = split_triples(graph, seed=3)
+    config = TrainingConfig(
+        model="transe",
+        dim=8,
+        epochs=1,
+        batch_size=32,
+        num_negatives=4,
+        num_machines=2,
+        cache_capacity=64,
+        sync_period=4,
+        seed=0,
+    )
+    trainer = make_trainer("hetkg-d", config)
+    trainer.train(split.train)
+    store = EmbeddingStore.from_trainer(trainer)
+    spec = WorkloadSpec(num_queries=600, arrival_rate=2000.0, seed=11)
+    workload = ZipfianWorkload.from_graph(graph, spec)
+    return store, workload
+
+
+def serve_fingerprint(store, log, cache) -> dict:
+    frontend = ServingFrontend(
+        store,
+        batcher=QueryBatcher(max_batch=16, max_wait=2e-3),
+        cache=cache,
+        byte_scale=25.0,
+    )
+    report = frontend.run(log.queries)
+    answers = []
+    for result in frontend.results[:50]:
+        value = result.answer
+        if hasattr(value, "tolist"):
+            answers.append([int(v) for v in value.tolist()])
+        else:
+            answers.append(float(value).hex())
+    return {
+        "num_queries": report.num_queries,
+        "duration": float(report.duration).hex(),
+        "latency_mean": float(report.latency_mean).hex(),
+        "latency_p50": float(report.latency_p50).hex(),
+        "latency_p95": float(report.latency_p95).hex(),
+        "latency_p99": float(report.latency_p99).hex(),
+        "latency_max": float(report.latency_max).hex(),
+        "hit_ratio": float(report.hit_ratio).hex(),
+        "num_batches": report.num_batches,
+        "mean_batch_size": float(report.mean_batch_size).hex(),
+        "clock_elapsed": float(frontend.clock.elapsed).hex(),
+        "clock_compute": float(frontend.clock.category("compute")).hex(),
+        "clock_communication": float(
+            frontend.clock.category("communication")
+        ).hex(),
+        "clock_idle": float(frontend.clock.category("idle")).hex(),
+        "local_bytes": int(frontend.comm_totals.local_bytes),
+        "remote_bytes": int(frontend.comm_totals.remote_bytes),
+        "local_messages": int(frontend.comm_totals.local_messages),
+        "remote_messages": int(frontend.comm_totals.remote_messages),
+        "answers_head": answers,
+    }
+
+
+def capture() -> dict:
+    store, workload = golden_store()
+    log = workload.generate()
+    cut = len(log) // 4
+    warmup, measured = QueryLog(log.queries[:cut]), QueryLog(log.queries[cut:])
+    capacity = max(2, int(0.1 * (store.num_entities + store.num_relations)))
+    return {
+        "config": "fb15k scale=0.02 seed=3, hetkg-d 1 epoch, 600 queries",
+        "no-cache": serve_fingerprint(store, measured, None),
+        "static": serve_fingerprint(
+            store, measured, ServingCache.from_query_log(warmup, capacity)
+        ),
+        "lru": serve_fingerprint(
+            store, measured, ServingCache.dynamic(capacity, policy="lru")
+        ),
+    }
+
+
+if __name__ == "__main__":
+    GOLDEN_PATH.write_text(json.dumps(capture(), indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH}")

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.config import TrainingConfig
 from repro.core.telemetry import FaultEvent, Telemetry
@@ -113,6 +115,122 @@ class TestFaultPlan:
             FaultPlan.parse("explode=1.0")
         with pytest.raises(ValueError):
             FaultPlan.parse("crash=w1")  # missing @iteration
+
+    def test_parse_errors_name_the_clause(self):
+        """Every parse failure must point at the offending clause."""
+        for spec, clause in [
+            ("drop=banana", "drop=banana"),
+            ("seed=3,delay=0.1xfast", "delay=0.1xfast"),
+            ("drop=0.1,slow=w2", "slow=w2"),
+            ("drop=1.5", "drop=1.5"),  # out-of-range, not just unparsable
+            ("drop=0.1@9:3", "drop=0.1@9:3"),  # empty window
+            ("explode=1.0", "explode=1.0"),
+        ]:
+            with pytest.raises(ValueError, match="bad fault clause") as err:
+                FaultPlan.parse(spec)
+            assert clause in str(err.value)
+
+    def test_parse_retries_with_timeout(self):
+        plan = FaultPlan.parse("retries=4x0.004")
+        assert plan.retry.max_attempts == 4
+        assert plan.retry.timeout == pytest.approx(0.004)
+
+
+# ------------------------------------------------------------- spec round-trip
+
+
+def _windows(draw, st):
+    start = draw(st.integers(min_value=1, max_value=50))
+    stop = draw(st.one_of(st.none(), st.integers(min_value=start + 1, max_value=99)))
+    return start, stop
+
+
+@st.composite
+def fault_plans(draw):
+    """Grammar-expressible plans (the domain ``to_spec`` guarantees)."""
+    probs = st.floats(
+        min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+    )
+    drops = tuple(
+        DropWindow(draw(probs), *_windows(draw, st))
+        for _ in range(draw(st.integers(0, 2)))
+    )
+    delays = tuple(
+        DelayWindow(
+            draw(probs),
+            draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False)),
+            *_windows(draw, st),
+        )
+        for _ in range(draw(st.integers(0, 2)))
+    )
+    stragglers = tuple(
+        StragglerWindow(
+            draw(st.integers(0, 3)),
+            draw(st.floats(min_value=1.0, max_value=10.0, allow_nan=False)),
+            *_windows(draw, st),
+        )
+        for _ in range(draw(st.integers(0, 2)))
+    )
+    crash_keys = draw(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(1, 99)),
+            max_size=2,
+            unique=True,
+        )
+    )
+    crashes = tuple(CrashEvent(m, i) for m, i in crash_keys)
+    outages = tuple(
+        OutageWindow(draw(st.integers(0, 3)), *_windows(draw, st))
+        for _ in range(draw(st.integers(0, 2)))
+    )
+    retry = RetryPolicy(
+        max_attempts=draw(st.integers(1, 9)),
+        timeout=draw(st.floats(min_value=0.0, max_value=0.5, allow_nan=False)),
+    )
+    return FaultPlan(
+        seed=draw(st.integers(0, 1000)),
+        drops=drops,
+        delays=delays,
+        stragglers=stragglers,
+        crashes=crashes,
+        outages=outages,
+        retry=retry,
+        restart_delay=draw(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+        ),
+    )
+
+
+class TestFaultSpecRoundTrip:
+    """``FaultPlan.to_spec`` is the exact inverse of ``parse``."""
+
+    @given(plan=fault_plans())
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_property(self, plan):
+        assert FaultPlan.parse(plan.to_spec()) == plan
+
+    def test_round_trip_canonical_example(self):
+        spec = (
+            "seed=7,retries=4x0.004,restart-delay=2.5,drop=0.3@9:40,"
+            "delay=0.1x0.05@1:50,slow=w1x2.5@20:,crash=w0@25,ps-out=0@5:8"
+        )
+        plan = FaultPlan.parse(spec)
+        assert FaultPlan.parse(plan.to_spec()) == plan
+
+    def test_none_plan_renders_empty(self):
+        assert FaultPlan.none().to_spec() == ""
+        assert FaultPlan.parse("") == FaultPlan.none()
+
+    def test_inexpressible_plans_raise(self):
+        scoped = FaultPlan(drops=(DropWindow(0.1, machines=(1,)),))
+        with pytest.raises(ValueError, match="no --faults spelling"):
+            scoped.to_spec()
+        exotic = FaultPlan(retry=RetryPolicy(backoff_base=0.123))
+        with pytest.raises(ValueError, match="cannot express"):
+            exotic.to_spec()
+        slow_disk = FaultPlan(recovery_bandwidth=1e6)
+        with pytest.raises(ValueError, match="no --faults spelling"):
+            slow_disk.to_spec()
 
 
 # ------------------------------------------------------------------- injector
