@@ -1,0 +1,189 @@
+"""mp-backend scaling benchmark + core-aware regression gate.
+
+Trains HET-KG-D through ``train_mp(schedule="async")`` at 1/2/4/8 worker
+processes on the same seeded dataset and records real wall-clock seconds,
+speedup over the single-worker run, and protocol stall shares.  A sync-
+schedule run at 2 workers is timed alongside, so the cost of the
+bit-identical oracle schedule (full serialization) is visible next to the
+hogwild fast path.
+
+Honesty rules, because parallel speedup is a property of the *host*:
+
+* ``host_cpus`` (the scheduler affinity count) is recorded in the
+  committed ``BENCH_mp.json``; absolute seconds and speedups measured on
+  an N-core runner are meaningless on an M-core one.
+* the ``--check`` gate is therefore **core-aware**: at ``w`` workers the
+  speedup floor is ``SCALING_FLOOR * min(w, cpus_now)`` — on a 4-core
+  host 4 workers must beat ~2.2x, while on a 1-core container (where
+  parallel speedup is physically impossible) the gate only asserts the
+  mp machinery is not catastrophically slower than one process.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_mp_scaling.py           # bench + write BENCH_mp.json
+    PYTHONPATH=src python benchmarks/bench_mp_scaling.py --check   # CI gate (relative, core-aware)
+    PYTHONPATH=src python benchmarks/bench_mp_scaling.py --quick   # smaller run (CI mode)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core.config import TrainingConfig  # noqa: E402
+from repro.core.trainer import make_trainer  # noqa: E402
+from repro.kg.datasets import generate_dataset  # noqa: E402
+from repro.kg.splits import split_triples  # noqa: E402
+from repro.mp.pool import default_jobs  # noqa: E402
+from repro.mp.shm import shm_segments  # noqa: E402
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_mp.json"
+
+#: Per-effective-core fraction of ideal speedup the gate demands when the
+#: host actually has cores to scale over (0.55 * 4 cores = 2.2x at 4
+#: workers, satisfying the nominal >=2x target on real hardware).
+SCALING_FLOOR = 0.55
+
+#: On a single-core host the only enforceable claim is "mp is not
+#: pathologically slower than one process" (turn/stall overhead bounded).
+SINGLE_CORE_FLOOR = 0.15
+
+WORKER_COUNTS = (1, 2, 4, 8)
+QUICK_WORKER_COUNTS = (1, 2)
+
+
+def _config(workers: int, quick: bool) -> TrainingConfig:
+    return TrainingConfig(
+        model="transe",
+        dim=16,
+        epochs=1 if quick else 2,
+        batch_size=64,
+        num_negatives=8,
+        num_machines=workers,
+        cache_capacity=256,
+        sync_period=8,
+        seed=0,
+    )
+
+
+def _run(workers: int, quick: bool, schedule: str = "async") -> dict:
+    graph = generate_dataset("fb15k", scale=0.02 if quick else 0.05, seed=3)
+    split = split_triples(graph, seed=3)
+    trainer = make_trainer("hetkg-d", _config(workers, quick))
+    result = trainer.train_mp(
+        split.train, schedule=schedule, start_method="fork"
+    )
+    spans = result.worker_wall.values()
+    wall = result.wall_time_s
+    stall = sum(s["stall_s"] for s in spans)
+    busy = sum(max(0.0, s["wall_s"] - s["stall_s"]) for s in spans)
+    return {
+        "workers": workers,
+        "schedule": schedule,
+        "wall_s": round(wall, 3),
+        "steps": sum(s["steps"] for s in spans),
+        "stall_fraction": round(stall / (stall + busy), 3)
+        if (stall + busy) > 0
+        else 0.0,
+    }
+
+
+def bench(quick: bool) -> dict:
+    counts = QUICK_WORKER_COUNTS if quick else WORKER_COUNTS
+    before = shm_segments()
+    scaling = []
+    for workers in counts:
+        entry = _run(workers, quick)
+        base = scaling[0]["wall_s"] if scaling else entry["wall_s"]
+        entry["speedup_vs_1"] = round(base / entry["wall_s"], 2)
+        scaling.append(entry)
+        print(
+            f"async w={workers}: {entry['wall_s']:.2f}s "
+            f"({entry['speedup_vs_1']:.2f}x, "
+            f"stall {entry['stall_fraction']:.0%})"
+        )
+    sync = _run(2, quick, schedule="sync")
+    async2 = next(e for e in scaling if e["workers"] == 2)
+    sync["slowdown_vs_async"] = round(sync["wall_s"] / async2["wall_s"], 2)
+    print(
+        f"sync w=2: {sync['wall_s']:.2f}s "
+        f"({sync['slowdown_vs_async']:.2f}x the async wall — the price of "
+        f"bit-identity)"
+    )
+    leaked = [s for s in shm_segments() if s not in before]
+    if leaked:
+        raise RuntimeError(f"benchmark leaked shm segments: {leaked}")
+    return {
+        "schema": 1,
+        "host_cpus": default_jobs(),
+        "quick": quick,
+        "scaling": scaling,
+        "sync_oracle": sync,
+    }
+
+
+def check(report: dict) -> int:
+    """Core-aware gate: measured speedups vs what this host can deliver."""
+    if not BENCH_PATH.exists():
+        print(f"no committed baseline at {BENCH_PATH}; run without --check first")
+        return 2
+    committed = json.loads(BENCH_PATH.read_text())
+    cpus = report["host_cpus"]
+    failures = []
+    for entry in report["scaling"]:
+        workers = entry["workers"]
+        effective = min(workers, cpus)
+        floor = (
+            SCALING_FLOOR * effective if effective > 1 else SINGLE_CORE_FLOOR
+        )
+        if entry["speedup_vs_1"] < floor:
+            failures.append(
+                f"w={workers}: speedup {entry['speedup_vs_1']:.2f}x < floor "
+                f"{floor:.2f}x ({cpus} cpus -> {effective} effective)"
+            )
+    if failures:
+        print("MP SCALING REGRESSION:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    committed_cpus = committed.get("host_cpus")
+    print(
+        f"mp scaling OK on {cpus} cpus "
+        f"(committed baseline measured on {committed_cpus}): "
+        + ", ".join(
+            f"w={e['workers']} {e['speedup_vs_1']:.2f}x"
+            for e in report["scaling"]
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate against the host's core count instead of rewriting "
+        "BENCH_mp.json",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller dataset, 1 epoch, workers 1-2 only (CI mode)",
+    )
+    args = parser.parse_args(argv)
+
+    report = bench(quick=args.quick)
+    if args.check:
+        return check(report)
+    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {BENCH_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

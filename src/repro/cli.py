@@ -30,6 +30,88 @@ def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+#: Execution backends ``train``/``serve-bench`` accept (validated by hand
+#: so a typo gets a did-you-mean instead of argparse's terse choices dump).
+BACKENDS = ("sim", "mp")
+
+
+def _add_backend_flags(
+    parser: argparse.ArgumentParser, serving: bool = False
+) -> None:
+    parser.add_argument(
+        "--backend",
+        default="sim",
+        metavar="NAME",
+        help="execution backend: sim (single-process simulator, default) "
+        "or mp (real worker processes over shared memory; see "
+        "docs/parallelism.md)",
+    )
+    parser.add_argument(
+        "--mp-schedule",
+        default=None,
+        choices=["sync", "async"],
+        help="mp step schedule: sync (turn-taking, bit-identical to the "
+        "simulator) or async (hogwild under a staleness bound, the "
+        "default and fast path)",
+    )
+    parser.add_argument(
+        "--mp-staleness",
+        type=int,
+        default=None,
+        metavar="S",
+        help="async schedule: max steps any worker may run ahead of the "
+        "slowest (default: the cache sync period P)",
+    )
+    parser.add_argument(
+        "--mp-start",
+        default=None,
+        choices=["spawn", "fork", "forkserver"],
+        help="multiprocessing start method (default: spawn)",
+    )
+    if serving:
+        parser.add_argument(
+            "--mp-workers",
+            type=int,
+            default=None,
+            metavar="N",
+            help="frontend replica processes for --backend mp "
+            "(default: one per available core)",
+        )
+
+
+def _validate_backend(args: argparse.Namespace) -> int | None:
+    """Validate --backend and its satellite flags; return an exit code to
+    fail fast, or None to proceed."""
+    if args.backend not in BACKENDS:
+        import difflib
+
+        close = difflib.get_close_matches(args.backend, BACKENDS, n=2, cutoff=0.4)
+        print(f"unknown backend {args.backend!r}", file=sys.stderr)
+        if close:
+            print("did you mean: " + ", ".join(close), file=sys.stderr)
+        print("valid backends: " + ", ".join(BACKENDS), file=sys.stderr)
+        return 2
+    if args.backend != "mp":
+        engaged = [
+            flag
+            for flag, value in (
+                ("--mp-schedule", args.mp_schedule),
+                ("--mp-staleness", args.mp_staleness),
+                ("--mp-start", args.mp_start),
+                ("--mp-workers", getattr(args, "mp_workers", None)),
+            )
+            if value is not None
+        ]
+        if engaged:
+            print(
+                f"{', '.join(engaged)} require{'s' if len(engaged) == 1 else ''}"
+                " --backend mp",
+                file=sys.stderr,
+            )
+            return 2
+    return None
+
+
 def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--faults",
@@ -212,6 +294,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_fault_flags(train)
     _add_trace_flag(train)
     _add_tier_flags(train)
+    _add_backend_flags(train)
 
     serve = sub.add_parser(
         "serve-bench",
@@ -325,6 +408,7 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0)
     _add_trace_flag(serve)
     _add_tier_flags(serve)
+    _add_backend_flags(serve, serving=True)
 
     stream = sub.add_parser(
         "stream",
@@ -415,6 +499,31 @@ def _train(args: argparse.Namespace) -> int:
     from repro.kg.splits import split_triples
     from repro.utils.tables import format_table
 
+    status = _validate_backend(args)
+    if status is not None:
+        return status
+    use_mp = args.backend == "mp"
+    if use_mp:
+        # Fail fast on combinations the mp backend does not carry: the
+        # observability tracer and fault channels splice per-step into a
+        # single process, tiered tables hold process-local file handles,
+        # and PBG has its own non-PS training loop.
+        blockers = [
+            ("--trace", args.trace is not None),
+            ("--faults", bool(args.faults)),
+            ("--checkpoint-every", args.checkpoint_every is not None),
+            ("--backing tiered", args.backing == "tiered"),
+            ("--system pbg", args.system.lower() == "pbg"),
+        ]
+        engaged = [flag for flag, on in blockers if on]
+        if engaged:
+            print(
+                f"--backend mp does not support {', '.join(engaged)} "
+                "(see docs/parallelism.md)",
+                file=sys.stderr,
+            )
+            return 2
+
     if args.tsv is not None:
         graph = load_tsv(args.tsv)
         source = args.tsv
@@ -466,14 +575,26 @@ def _train(args: argparse.Namespace) -> int:
             checkpoint_every=args.checkpoint_every,
             checkpoint_path=args.checkpoint,
         )
-    result = trainer.train(
-        split.train,
-        eval_graph=split.test,
-        filter_set=graph.triple_set(),
-        eval_max_queries=args.eval_queries,
-        eval_candidates=None,
-        **train_kwargs,
-    )
+    if use_mp:
+        result = trainer.train_mp(
+            split.train,
+            eval_graph=split.test,
+            filter_set=graph.triple_set(),
+            eval_max_queries=args.eval_queries,
+            eval_candidates=None,
+            schedule=args.mp_schedule or "async",
+            staleness_bound=args.mp_staleness,
+            start_method=args.mp_start,
+        )
+    else:
+        result = trainer.train(
+            split.train,
+            eval_graph=split.test,
+            filter_set=graph.triple_set(),
+            eval_max_queries=args.eval_queries,
+            eval_candidates=None,
+            **train_kwargs,
+        )
     print(
         format_table(
             ["system", "MRR", "Hits@1", "Hits@10", "sim time (s)", "comm frac", "cache hits"],
@@ -491,6 +612,10 @@ def _train(args: argparse.Namespace) -> int:
         )
     )
     print(f"(wall time: {time.time() - start:.1f}s)")
+    if use_mp:
+        from repro.obs import reconcile
+
+        print(reconcile(result).to_text())
     if config.backing == "tiered" and result.memory_report:
         _print_memory_report(result.memory_report)
         print(f"tier time: {result.tier_time:.3f}s simulated")
@@ -521,6 +646,11 @@ def _serve_bench(args: argparse.Namespace) -> int:
     from repro.utils.tables import format_table
     from repro.serving.metrics import ServingReport
 
+    status = _validate_backend(args)
+    if status is not None:
+        return status
+    use_mp = args.backend == "mp"
+
     overload = (
         args.tenants is not None
         or args.admission is not None
@@ -528,6 +658,29 @@ def _serve_bench(args: argparse.Namespace) -> int:
         or args.faults is not None
         or args.deploy_every is not None
     )
+    if use_mp:
+        # The overload layer (admission windows, shed ladders, deploy
+        # swaps) is stateful per-stream and is modelled single-frontend;
+        # tiered backings hold process-local file handles; the tracer is
+        # process-local.  Fail fast rather than silently measure the
+        # wrong thing.
+        blockers = [
+            ("--tenants", args.tenants is not None),
+            ("--admission", args.admission is not None),
+            ("--slo", args.slo is not None),
+            ("--faults", args.faults is not None),
+            ("--deploy-every", args.deploy_every is not None),
+            ("--backing tiered", args.backing == "tiered"),
+            ("--trace", args.trace is not None),
+        ]
+        engaged = [flag for flag, on in blockers if on]
+        if engaged:
+            print(
+                f"--backend mp does not support {', '.join(engaged)} "
+                "(see docs/parallelism.md)",
+                file=sys.stderr,
+            )
+            return 2
     if args.deploy_every is not None and args.checkpoint is not None:
         print("--deploy-every snapshots a live trainer; drop --checkpoint")
         return 2
@@ -593,6 +746,9 @@ def _serve_bench(args: argparse.Namespace) -> int:
         f"cache capacity {capacity} rows"
     )
 
+    if use_mp:
+        return _serve_bench_mp(args, store, measured, warmup, capacity, title)
+
     if overload:
         return _serve_bench_overload(
             args, store, trainer, measured, cache, label, title
@@ -624,6 +780,53 @@ def _serve_bench(args: argparse.Namespace) -> int:
     )
     if args.backing == "tiered":
         _print_memory_report(store.memory_report())
+    return 0
+
+
+def _serve_bench_mp(
+    args: argparse.Namespace, store, measured, warmup, capacity, title
+) -> int:
+    """serve-bench over N frontend processes sharing one embedding store.
+
+    Each replica builds its own cache/batcher and replays a round-robin
+    slice of the measured stream; the merged report's percentiles are
+    exact over all completions (see :mod:`repro.mp.serve`).
+    """
+    from repro.mp.pool import default_jobs
+    from repro.mp.serve import serve_mp
+    from repro.serving.metrics import ServingReport
+    from repro.utils.tables import format_table
+
+    frontends = args.mp_workers or default_jobs()
+    result = serve_mp(
+        store,
+        measured,
+        num_frontends=frontends,
+        cache_policy=args.cache_policy,
+        warmup=warmup,
+        capacity=capacity,
+        max_batch=args.max_batch,
+        max_wait=args.max_wait,
+        byte_scale=args.byte_scale,
+        start_method=args.mp_start,
+    )
+    rows = [r.as_row() for r in result.per_frontend]
+    rows.append(result.report.as_row())
+    print(
+        format_table(
+            ServingReport.headers(),
+            rows,
+            title=f"{title}, {frontends} frontend processes",
+        )
+    )
+    merged = result.report
+    print(
+        f"merged: {merged.throughput:.0f} q/s simulated | "
+        f"{result.wall_throughput:.0f} q/s wall | "
+        f"p99 {merged.latency_p99 * 1e3:.3f} ms | "
+        f"hit ratio {merged.hit_ratio:.3f} | "
+        f"wall {result.wall_time_s:.2f}s across {frontends} processes"
+    )
     return 0
 
 

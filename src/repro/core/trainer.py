@@ -12,6 +12,7 @@ pull-everything-per-batch loop, which is how the baseline is implemented
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -41,7 +42,100 @@ from repro.ps.network import CommRecord, ComputeModel, NetworkModel
 from repro.ps.server import ParameterServer
 from repro.sampling.minibatch import EpochSampler
 from repro.sampling.negative import NegativeSampler
-from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.rng import make_rng, split_worker_streams
+
+
+def make_strategy(config: TrainingConfig) -> HotEmbeddingStrategy | None:
+    """Build the cache strategy ``config`` selects (``None`` for cacheless).
+
+    Module-level (rather than a trainer method) so mp worker processes can
+    rebuild the identical strategy from a pickled config without shipping
+    the trainer object across the process boundary.
+    """
+    cfg = config
+    if cfg.cache_strategy == "cps":
+        return ConstantPartialStale(cfg.cache_capacity, cfg.entity_ratio)
+    if cfg.cache_strategy == "dps":
+        return DynamicPartialStale(
+            cfg.cache_capacity, cfg.dps_window, cfg.entity_ratio
+        )
+    if cfg.cache_strategy == "adaptive":
+        # Imported lazily: the ADAPTIVE strategy lives in the streaming
+        # subsystem and the static trainers must not depend on it.
+        from repro.stream.drift import AdaptiveStale
+
+        return AdaptiveStale(
+            cfg.cache_capacity,
+            cfg.dps_window,
+            cfg.entity_ratio,
+            threshold=cfg.adaptive_threshold,
+            decay=cfg.adaptive_decay,
+        )
+    return None
+
+
+def build_worker(
+    machine: int,
+    train_graph: KnowledgeGraph,
+    triple_idx: np.ndarray,
+    server,
+    model: KGEModel,
+    loss,
+    network: NetworkModel,
+    config: TrainingConfig,
+    neg_seed: int | np.random.Generator,
+    sampler_seed: int | np.random.Generator,
+) -> Worker:
+    """Assemble one machine's worker (sampler, cache, cost models).
+
+    The single construction path shared by the simulator's ``setup()`` and
+    the :mod:`repro.mp` child processes: both call this with the same
+    ``(graph, triple_idx, seeds)``, so a worker's draw sequence is
+    identical regardless of which backend hosts it.
+    """
+    cfg = config
+    subgraph = train_graph.subgraph(triple_idx)
+    neg = NegativeSampler(
+        num_entities=train_graph.num_entities,
+        num_negatives=cfg.num_negatives,
+        strategy=cfg.negative_strategy,
+        chunk_size=cfg.negative_chunk,
+        filter_graph=train_graph if cfg.filter_false_negatives else None,
+        seed=neg_seed,
+    )
+    sampler = EpochSampler(subgraph, cfg.batch_size, neg, seed=sampler_seed)
+    compute = ComputeModel(
+        throughput=cfg.compute_throughput * cfg.speed_of(machine)
+    )
+    strategy = make_strategy(cfg)
+    cache = None
+    if strategy is not None:
+        # Either cache table may hold up to the whole budget: the filtering
+        # algorithm enforces the entity/relation split (and reassigns slots
+        # one side cannot fill), bounding the *combined* size by the
+        # configured capacity.
+        cache = HotEmbeddingCache(
+            server,
+            machine,
+            entity_capacity=cfg.cache_capacity,
+            relation_capacity=cfg.cache_capacity,
+            entity_width=model.entity_dim,
+            relation_width=model.relation_dim,
+            sync_period=cfg.sync_period,
+            local_lr=cfg.lr,
+        )
+    return Worker(
+        machine,
+        sampler,
+        server,
+        model,
+        loss,
+        network,
+        compute,
+        strategy=strategy,
+        cache=cache,
+        cost_dim=cfg.cost_dim,
+    )
 
 
 @dataclass
@@ -73,6 +167,17 @@ class TrainResult:
     #: per-kind/per-tier byte breakdown (plain dicts, picklable for the
     #: parallel experiment runner).
     memory_report: dict = field(default_factory=dict)
+    #: Which execution backend produced this result: ``"sim"`` (round-robin
+    #: simulated workers) or ``"mp"`` (real worker processes over shared
+    #: memory; see :mod:`repro.mp`).
+    backend: str = "sim"
+    #: Real elapsed seconds for the train() call (both backends measure it;
+    #: only mp's number reflects genuine parallel execution).
+    wall_time_s: float = 0.0
+    #: Per-worker wall-clock spans for mp runs: ``{machine: {"wall_s": ...,
+    #: "stall_s": ..., "stalls": ...}}`` where stalls are time spent blocked
+    #: on the sync-schedule turn protocol or the async staleness bound.
+    worker_wall: dict = field(default_factory=dict)
 
     @property
     def communication_fraction(self) -> float:
@@ -106,6 +211,10 @@ class HETKGTrainer:
         self.server: ParameterServer | None = None
         self.workers: list[Worker] = []
         self.partition: Partition | None = None
+        #: Per-worker stream seeds drawn at setup() (2 per machine:
+        #: negative sampler, epoch sampler) — the mp backend re-derives
+        #: identical worker streams from these ints in child processes.
+        self._worker_seeds: list[int] = []
 
     # ------------------------------------------------------------------ setup
 
@@ -115,34 +224,7 @@ class HETKGTrainer:
         return RandomPartitioner(seed=self._rng)
 
     def _make_strategy(self) -> HotEmbeddingStrategy | None:
-        cfg = self.config
-        if cfg.cache_strategy == "cps":
-            return ConstantPartialStale(cfg.cache_capacity, cfg.entity_ratio)
-        if cfg.cache_strategy == "dps":
-            return DynamicPartialStale(
-                cfg.cache_capacity, cfg.dps_window, cfg.entity_ratio
-            )
-        if cfg.cache_strategy == "adaptive":
-            # Imported lazily: the ADAPTIVE strategy lives in the streaming
-            # subsystem and the static trainers must not depend on it.
-            from repro.stream.drift import AdaptiveStale
-
-            return AdaptiveStale(
-                cfg.cache_capacity,
-                cfg.dps_window,
-                cfg.entity_ratio,
-                threshold=cfg.adaptive_threshold,
-                decay=cfg.adaptive_decay,
-            )
-        return None
-
-    def _cache_budgets(self) -> tuple[int, int]:
-        # Either table may hold up to the whole budget: the filtering
-        # algorithm enforces the entity/relation split (and reassigns slots
-        # one side cannot fill), bounding the *combined* size by the
-        # configured capacity.
-        cfg = self.config
-        return cfg.cache_capacity, cfg.cache_capacity
+        return make_strategy(self.config)
 
     def setup(self, train_graph: KnowledgeGraph) -> None:
         """Partition the graph and build the cluster (idempotent)."""
@@ -185,52 +267,25 @@ class HETKGTrainer:
             compressor=get_compressor(cfg.compression),
         )
 
-        worker_rngs = spawn_rngs(self._rng, cfg.num_machines * 2)
-        entity_slots, relation_slots = self._cache_budgets()
+        # Integer seeds (not generators) so the mp backend can ship the very
+        # same streams to worker processes; see split_worker_streams.
+        self._worker_seeds = split_worker_streams(self._rng, cfg.num_machines * 2)
         for machine in range(cfg.num_machines):
             triple_idx = self.partition.triples_of(machine)
             if len(triple_idx) == 0:
                 continue  # tiny graphs may leave a machine without triples
-            subgraph = train_graph.subgraph(triple_idx)
-            neg = NegativeSampler(
-                num_entities=train_graph.num_entities,
-                num_negatives=cfg.num_negatives,
-                strategy=cfg.negative_strategy,
-                chunk_size=cfg.negative_chunk,
-                filter_graph=train_graph if cfg.filter_false_negatives else None,
-                seed=worker_rngs[2 * machine],
-            )
-            sampler = EpochSampler(
-                subgraph, cfg.batch_size, neg, seed=worker_rngs[2 * machine + 1]
-            )
-            compute = ComputeModel(
-                throughput=cfg.compute_throughput * cfg.speed_of(machine)
-            )
-            strategy = self._make_strategy()
-            cache = None
-            if strategy is not None:
-                cache = HotEmbeddingCache(
-                    self.server,
-                    machine,
-                    entity_capacity=entity_slots,
-                    relation_capacity=relation_slots,
-                    entity_width=self.model.entity_dim,
-                    relation_width=self.model.relation_dim,
-                    sync_period=cfg.sync_period,
-                    local_lr=cfg.lr,
-                )
             self.workers.append(
-                Worker(
+                build_worker(
                     machine,
-                    sampler,
+                    train_graph,
+                    triple_idx,
                     self.server,
                     self.model,
                     self.loss,
                     self.network,
-                    compute,
-                    strategy=strategy,
-                    cache=cache,
-                    cost_dim=cfg.cost_dim,
+                    cfg,
+                    self._worker_seeds[2 * machine],
+                    self._worker_seeds[2 * machine + 1],
                 )
             )
 
@@ -361,6 +416,7 @@ class HETKGTrainer:
         clock_base = [w.clock.copy() for w in self.workers]
         tier = self.server.store.tier
         tier_base = tier.clock.elapsed if tier is not None else 0.0
+        wall_start = time.perf_counter()
 
         for worker in self.workers:
             worker.start()
@@ -440,6 +496,52 @@ class HETKGTrainer:
             fault_stats=fault_stats,
             tier_time=(tier.clock.elapsed - tier_base) if tier is not None else 0.0,
             memory_report=memory_report,
+            wall_time_s=time.perf_counter() - wall_start,
+        )
+
+    # ----------------------------------------------------------------- train_mp
+
+    def train_mp(
+        self,
+        train_graph: KnowledgeGraph,
+        eval_graph: KnowledgeGraph | None = None,
+        filter_set: set[tuple[int, int, int]] | None = None,
+        eval_every: int | None = None,
+        eval_max_queries: int = 200,
+        eval_candidates: int | None = 500,
+        telemetry: Telemetry | None = None,
+        *,
+        schedule: str = "async",
+        staleness_bound: int | None = None,
+        start_method: str | None = None,
+        timeout_s: float | None = None,
+        crash_at_step: tuple[int, int] | None = None,
+    ) -> TrainResult:
+        """Run ``config.epochs`` epochs with real worker processes.
+
+        Workers are OS processes over SharedMemory-backed PS tables (one
+        per machine, like the simulator).  ``schedule="sync"`` serializes
+        steps in the simulator's round-robin order and is bit-identical to
+        :meth:`train`; ``schedule="async"`` is hogwild with staleness
+        bounded by ``staleness_bound`` (default: the cache's sync period).
+        See :mod:`repro.mp` for the orchestration details.
+        """
+        from repro.mp.backend import run_mp_training
+
+        return run_mp_training(
+            self,
+            train_graph,
+            eval_graph=eval_graph,
+            filter_set=filter_set,
+            eval_every=eval_every,
+            eval_max_queries=eval_max_queries,
+            eval_candidates=eval_candidates,
+            telemetry=telemetry,
+            schedule=schedule,
+            staleness_bound=staleness_bound,
+            start_method=start_method,
+            timeout_s=timeout_s,
+            crash_at_step=crash_at_step,
         )
 
     # --------------------------------------------------------------- evaluate

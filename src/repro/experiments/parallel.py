@@ -20,17 +20,14 @@ report is byte-identical to the serial one; only wall-clock time differs.
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro.mp.pool import default_jobs, process_map
 
 T = TypeVar("T")
 R = TypeVar("R")
 
-
-def default_jobs() -> int:
-    """A sensible ``--jobs`` auto value: one worker per available core."""
-    return max(1, os.cpu_count() or 1)
+__all__ = ["default_jobs", "parallel_map", "run_experiments"]
 
 
 def parallel_map(
@@ -38,28 +35,12 @@ def parallel_map(
 ) -> list[R]:
     """Map ``fn`` over ``items``, preserving input order in the result.
 
-    Parameters
-    ----------
-    fn:
-        A module-level (picklable) function of one argument.
-    items:
-        Task inputs; each must be picklable when ``jobs > 1``.
-    jobs:
-        Worker process count.  ``jobs <= 1`` runs everything inline in
-        this process — same function, same order, no pool overhead.
-
-    Any task exception propagates to the caller (remaining futures are
-    abandoned when the pool shuts down).
+    Thin alias over :func:`repro.mp.pool.process_map` (the shared pool
+    primitive the mp training/serving backend also uses): a module-level
+    picklable ``fn``, picklable ``items`` when ``jobs > 1``, inline
+    execution when ``jobs <= 1``, and first-failure exception propagation.
     """
-    tasks: Sequence[T] = list(items)
-    if jobs <= 1 or len(tasks) <= 1:
-        return [fn(task) for task in tasks]
-    results: list[Any] = [None] * len(tasks)
-    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-        futures = [pool.submit(fn, task) for task in tasks]
-        for index, future in enumerate(futures):
-            results[index] = future.result()
-    return results
+    return process_map(fn, items, jobs=jobs)
 
 
 # ------------------------------------------------------------ experiment map

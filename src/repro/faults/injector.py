@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.faults.plan import FaultPlan
+from repro.utils.rng import worker_stream
 
 
 @dataclass
@@ -81,7 +82,7 @@ class FaultInjector:
         """The machine's private fault stream (created lazily)."""
         rng = self._streams.get(machine)
         if rng is None:
-            rng = np.random.default_rng([self.plan.seed, machine])
+            rng = worker_stream(self.plan.seed, machine)
             self._streams[machine] = rng
         return rng
 

@@ -1,0 +1,51 @@
+"""Real-parallelism execution backend: worker processes over shared memory.
+
+The simulator (:mod:`repro.core.trainer`) interleaves workers round-robin
+over :class:`~repro.utils.simclock.SimClock` — perfectly deterministic, but
+every "parallel" number is simulated.  This package runs the *same* worker
+loop (:func:`repro.core.trainer.build_worker`) in actual OS processes over
+``multiprocessing.shared_memory``-backed parameter-server tables:
+
+* :mod:`repro.mp.shm` — SharedMemory-backed ndarray storage for PS shards
+  and optimizer accumulators, with zero-copy attach in children, a growth
+  protocol compatible with :meth:`repro.ps.kvstore.ShardedKVStore.grow`,
+  and leak-proof cleanup (pid-guarded finalizers + context managers).
+* :mod:`repro.mp.pool` — small process-pool utilities shared with the
+  ``--jobs`` parallel experiment runner.
+* :mod:`repro.mp.worker` — the child-process entry point: rebuilds its
+  worker from integer seeds + pickled triples, attaches the shared tables,
+  and runs either the ``sync`` schedule (turn-taking in the simulator's
+  round-robin order — bit-identical results) or the ``async`` schedule
+  (hogwild with a bounded-staleness guard — the fast path).
+* :mod:`repro.mp.backend` — the parent-side orchestrator assembling a
+  normal :class:`~repro.core.trainer.TrainResult` (plus wall-clock spans)
+  from the children's reports.
+* :mod:`repro.mp.serve` — multi-process ``serve-bench`` frontends over a
+  shared embedding store.
+
+Determinism contract: ``schedule="sync"`` serializes steps in exactly the
+simulator's order, so losses, embeddings, SimClock categories, and
+CommRecord totals are bit-identical to ``backend="sim"`` (asserted against
+the PR 4 golden fingerprints).  ``schedule="async"`` trades that for real
+concurrency; divergence is bounded by the staleness guard (default: the
+cache's sync period ``P``).
+"""
+
+from repro.mp.backend import MPUnsupportedError, MPWorkerCrashed, run_mp_training
+from repro.mp.pool import default_jobs, process_map
+from repro.mp.serve import MPServingResult, serve_mp
+from repro.mp.shm import SharedArena, SharedArray, SharedKVStore, shm_segments
+
+__all__ = [
+    "MPServingResult",
+    "MPUnsupportedError",
+    "MPWorkerCrashed",
+    "run_mp_training",
+    "default_jobs",
+    "process_map",
+    "serve_mp",
+    "SharedArena",
+    "SharedArray",
+    "SharedKVStore",
+    "shm_segments",
+]

@@ -1,0 +1,420 @@
+"""Parent-side orchestrator for the mp training backend.
+
+``run_mp_training`` turns an already-configured trainer into a real
+multi-process run:
+
+1. ``trainer.setup(graph)`` builds the partition, tables, and (parent
+   copies of) the workers exactly as the simulator would — including
+   drawing the per-worker stream seeds;
+2. the PS tables and AdaGrad accumulators move into a
+   :class:`~repro.mp.shm.SharedArena` and the parent's store/optimizer are
+   swapped onto the shared views, so the parent evaluates (and later
+   checkpoints) the same memory the children train;
+3. one child process per worker runs :func:`repro.mp.worker.worker_main`;
+   the parent collects per-epoch losses at a barrier, evaluates while the
+   children are parked, and assembles a normal
+   :class:`~repro.core.trainer.TrainResult` — with per-epoch losses
+   re-interleaved in the simulator's iteration-major/worker-minor order,
+   which is what makes the ``sync`` schedule's ``np.mean`` (and therefore
+   the golden fingerprints) bit-identical;
+4. teardown is unconditional: whether the run finishes, raises, or a
+   child dies mid-epoch, the shared tables are copied back into private
+   arrays *before* the arena unlinks its segments (ndarray views into a
+   closed segment are fatal), and no ``/dev/shm`` entry survives.
+
+Crash propagation: a child that exits without delivering its report trips
+:class:`MPWorkerCrashed`; the abort event + barrier abort unblock every
+sibling, which exit quietly.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import time
+
+import numpy as np
+
+from repro.core.convergence import HistoryPoint, TrainingHistory
+from repro.mp.shm import SharedArena
+from repro.mp.worker import MPControls, WorkerSpec, worker_main
+from repro.ps.network import CommRecord
+from repro.utils.simclock import SimClock
+
+#: Seconds between liveness checks while waiting on children.
+_POLL_S = 0.1
+
+#: Default hard ceiling on a whole mp run — generous (training epochs on
+#: the experiment datasets take seconds), but it converts a deadlocked
+#: child into a diagnosable MPWorkerCrashed instead of a hang.
+DEFAULT_TIMEOUT_S = 600.0
+
+SCHEDULES = ("sync", "async")
+
+
+class MPUnsupportedError(ValueError):
+    """A configuration the mp backend does not support (use sim)."""
+
+
+class MPWorkerCrashed(RuntimeError):
+    """A worker process died (or stalled) before delivering its results."""
+
+
+def run_mp_training(
+    trainer,
+    train_graph,
+    eval_graph=None,
+    filter_set=None,
+    eval_every=None,
+    eval_max_queries: int = 200,
+    eval_candidates: int | None = 500,
+    telemetry=None,
+    *,
+    schedule: str = "async",
+    staleness_bound: int | None = None,
+    start_method: str | None = None,
+    timeout_s: float | None = None,
+    crash_at_step: tuple[int, int] | None = None,
+):
+    """Train ``trainer`` with one OS process per worker over shared memory.
+
+    See :meth:`repro.core.trainer.HETKGTrainer.train_mp` for the public
+    entry point and parameter semantics.  ``crash_at_step`` is a test hook:
+    ``(rank, step)`` makes that worker die abruptly (``os._exit``) right
+    before the step, exercising crash propagation and leak-freedom.
+    """
+    import multiprocessing
+
+    from repro.core.trainer import TrainResult
+
+    if schedule not in SCHEDULES:
+        raise MPUnsupportedError(
+            f"unknown mp schedule {schedule!r}; expected one of {SCHEDULES}"
+        )
+    cfg = trainer.config
+    if cfg.backing != "resident":
+        raise MPUnsupportedError(
+            "the mp backend requires the resident backing; tiered tables "
+            "hold file handles and quantized blocks that cannot be shared "
+            "across processes (run --backing tiered with --backend sim)"
+        )
+    trainer.setup(train_graph)
+    if not trainer.workers:
+        raise MPUnsupportedError("setup produced no workers to parallelize")
+    server = trainer.server
+    store = server.store
+    num_workers = len(trainer.workers)
+    iterations = max(w.sampler.batches_per_epoch for w in trainer.workers)
+    bound = staleness_bound if staleness_bound is not None else cfg.sync_period
+    if bound < 1:
+        raise MPUnsupportedError(f"staleness bound must be >= 1, got {bound}")
+    deadline = time.monotonic() + (
+        timeout_s if timeout_s is not None else DEFAULT_TIMEOUT_S
+    )
+
+    ctx = multiprocessing.get_context(start_method or "spawn")
+    arena = SharedArena()
+    procs: list = []
+    controls: MPControls | None = None
+    history = TrainingHistory()
+    telemetry_records: list = []
+    summaries: dict[int, dict] = {}
+    wall_start = time.perf_counter()
+    try:
+        # ---- move the global state into shared memory -------------------
+        for kind in ("entity", "relation"):
+            shared = arena.create(kind, store.table(kind))
+            store._tables[kind] = shared.view()
+        optimizer = server.optimizer
+        if hasattr(optimizer, "_accumulator_for"):
+            for kind in ("entity", "relation"):
+                acc = optimizer._accumulator_for(kind, store.table(kind))
+                shared = arena.create(f"acc_{kind}", acc)
+                optimizer._accumulators[kind] = shared.view()
+
+        # ---- spawn children --------------------------------------------
+        controls = MPControls(ctx, num_workers)
+        shm_specs = arena.specs()
+        for rank, worker in enumerate(trainer.workers):
+            machine = worker.machine
+            spec = WorkerSpec(
+                rank=rank,
+                machine=machine,
+                num_workers=num_workers,
+                config=cfg,
+                triples=train_graph.triples,
+                num_entities=train_graph.num_entities,
+                num_relations=train_graph.num_relations,
+                triple_idx=trainer.partition.triples_of(machine),
+                entity_owner=store._owners["entity"],
+                neg_seed=trainer._worker_seeds[2 * machine],
+                sampler_seed=trainer._worker_seeds[2 * machine + 1],
+                iterations=iterations,
+                schedule=schedule,
+                staleness_bound=bound,
+                shm_specs=shm_specs,
+                collect_telemetry=telemetry is not None,
+                crash_at_step=crash_at_step,
+            )
+            proc = ctx.Process(
+                target=worker_main, args=(spec, controls), daemon=True
+            )
+            proc.start()
+            procs.append(proc)
+
+        # ---- run epochs -------------------------------------------------
+        rank_of = {w.machine: r for r, w in enumerate(trainer.workers)}
+        stash: dict[str, list] = {}
+        _collect(controls, procs, "ready", num_workers, deadline, stash)
+        _set_gate(controls, 0)  # every hot table installed: start stepping
+        for epoch in range(1, cfg.epochs + 1):
+            reports = _collect(
+                controls, procs, "epoch", num_workers, deadline, stash
+            )
+            losses_by_rank = {rank: payload[1] for rank, payload in reports.items()}
+            epoch_clocks = [reports[r][2] for r in range(num_workers)]
+            # The simulator appends losses iteration-major, worker-minor;
+            # np.mean's pairwise summation is order-sensitive, so the mp
+            # result must reassemble the identical sequence.
+            interleaved = [
+                losses_by_rank[rank][i]
+                for i in range(iterations)
+                for rank in range(num_workers)
+            ]
+            metrics: dict[str, float] = {}
+            is_last = epoch == cfg.epochs
+            due = eval_every is not None and epoch % eval_every == 0
+            if eval_graph is not None and (due or is_last):
+                result = trainer.evaluate(
+                    eval_graph,
+                    filter_set=filter_set,
+                    max_queries=eval_max_queries,
+                    num_candidates=eval_candidates,
+                )
+                metrics = {
+                    "mrr": result.mrr,
+                    "mr": result.mr,
+                    **{f"hits@{k}": v for k, v in result.hits.items()},
+                }
+            history.append(
+                HistoryPoint(
+                    epoch=epoch,
+                    sim_time=max(epoch_clocks),
+                    loss=float(np.mean(interleaved)) if interleaved else 0.0,
+                    metrics=metrics,
+                )
+            )
+            _set_gate(controls, epoch)  # release the next epoch's writes
+
+        # ---- final reports ---------------------------------------------
+        done = _collect(controls, procs, "done", num_workers, deadline, stash)
+        summaries = {rank: payload[0] for rank, payload in done.items()}
+        for proc in procs:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        wall_time_s = time.perf_counter() - wall_start
+        memory_report = store.memory_report()
+
+        if telemetry is not None:
+            for rank in range(num_workers):
+                telemetry_records.extend(summaries[rank]["telemetry"])
+            # Restore the simulator's global step order (cumulative
+            # per-worker iteration, then worker position).
+            telemetry_records.sort(
+                key=lambda r: (r.iteration, rank_of[r.worker])
+            )
+            telemetry.records.extend(telemetry_records)
+            telemetry.record_memory(memory_report)
+
+        return _assemble_result(
+            TrainResult,
+            cfg,
+            trainer,
+            history,
+            summaries,
+            num_workers,
+            schedule,
+            wall_time_s,
+            memory_report,
+        )
+    except BaseException:
+        _abort(controls, procs)
+        raise
+    finally:
+        _restore_private(trainer)
+        arena.close()
+
+
+# ------------------------------------------------------------------ plumbing
+
+
+def _abort(controls, procs) -> None:
+    """Unblock and stop every child (teardown path)."""
+    if controls is not None:
+        controls.abort.set()
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+    for proc in procs:
+        proc.join(timeout=10.0)
+
+
+def _restore_private(trainer) -> None:
+    """Copy shared views back into private arrays (before arena close).
+
+    After the arena unlinks its segments every ndarray view into them is a
+    dangling mapping — touching one is a segfault, not an exception.  The
+    trainer object outlives the run (evaluate, checkpoint, repeated
+    train calls), so it must leave holding private memory.
+    """
+    if trainer.server is None:
+        return
+    store = trainer.server.store
+    for kind, table in list(store._tables.items()):
+        store._tables[kind] = np.array(table, copy=True)
+    optimizer = trainer.server.optimizer
+    if hasattr(optimizer, "_accumulators"):
+        for kind, acc in list(optimizer._accumulators.items()):
+            optimizer._accumulators[kind] = np.array(acc, copy=True)
+
+
+def _set_gate(controls: MPControls, value: int) -> None:
+    """Raise the epoch gate, releasing children parked below ``value``."""
+    with controls.gate_cond:
+        controls.gate.value = value
+        controls.gate_cond.notify_all()
+
+
+#: Grace period between noticing a dead child and declaring the run
+#: crashed — its final message may still be in flight through the queue's
+#: feeder thread.
+_DEAD_GRACE_S = 2.0
+
+
+_MESSAGE_KINDS = ("ready", "epoch", "done")
+
+
+def _collect(
+    controls: MPControls,
+    procs,
+    want: str,
+    count: int,
+    deadline: float,
+    stash: dict[str, list] | None = None,
+) -> dict[int, tuple]:
+    """Gather ``count`` messages of kind ``want`` (one per rank).
+
+    Workers run ahead of the parent: a fast worker's final-epoch report
+    and its ``done`` summary can both be queued while a slower peer is
+    still stepping, so messages of *other* kinds are stashed (in ``stash``,
+    shared across calls) rather than treated as protocol errors.  A child
+    found dead without having delivered its message marks the run as
+    crashed, after a short grace for in-flight queue data.
+    """
+    got: dict[int, tuple] = {}
+    dead_since: float | None = None
+    pending = stash.setdefault(want, []) if stash is not None else []
+    while pending and len(got) < count:
+        message = pending.pop(0)
+        got[message[1]] = tuple(message[2:])
+    while len(got) < count:
+        if time.monotonic() > deadline:
+            raise MPWorkerCrashed(
+                f"timed out waiting for {want!r} reports "
+                f"({len(got)}/{count} received)"
+            )
+        try:
+            message = controls.queue.get(timeout=_POLL_S)
+        except queue_mod.Empty:
+            dead = [
+                (rank, proc.exitcode)
+                for rank, proc in enumerate(procs)
+                if proc.exitcode is not None
+                and rank not in got
+                and not _stashed(stash, rank)
+            ]
+            if dead:
+                now = time.monotonic()
+                if dead_since is None:
+                    dead_since = now
+                elif now - dead_since > _DEAD_GRACE_S:
+                    detail = ", ".join(
+                        f"worker {rank} exit={code}" for rank, code in dead
+                    )
+                    raise MPWorkerCrashed(
+                        f"worker process died before reporting {want!r} "
+                        f"({detail})"
+                    )
+            continue
+        dead_since = None
+        kind, rank = message[0], message[1]
+        if kind == "error":
+            raise MPWorkerCrashed(f"worker {rank} raised:\n{message[2]}")
+        if kind == want:
+            got[rank] = tuple(message[2:])
+        elif kind in _MESSAGE_KINDS and stash is not None:
+            stash.setdefault(kind, []).append(message)
+        else:
+            raise MPWorkerCrashed(
+                f"protocol error: expected {want!r} from workers, got "
+                f"{kind!r} from worker {rank}"
+            )
+    return got
+
+
+def _stashed(stash: dict[str, list] | None, rank: int) -> bool:
+    """Whether any stashed message came from ``rank`` (it is alive enough)."""
+    if not stash:
+        return False
+    return any(m[1] == rank for messages in stash.values() for m in messages)
+
+
+def _assemble_result(
+    result_cls,
+    cfg,
+    trainer,
+    history,
+    summaries: dict[int, dict],
+    num_workers: int,
+    schedule: str,
+    wall_time_s: float,
+    memory_report: dict,
+):
+    clocks = []
+    comm_totals = CommRecord()
+    hit_ratios = []
+    worker_wall: dict[int, dict] = {}
+    for rank in range(num_workers):
+        s = summaries[rank]
+        clocks.append(SimClock(s["clock_elapsed"], dict(s["clock_by_category"])))
+        comm_totals.merge(CommRecord(**s["comm_totals"]))
+        hit_ratios.append(s["cache_hit_ratio"])
+        worker_wall[s["machine"]] = {
+            "wall_s": s["wall_s"],
+            "stall_s": s["stall_s"],
+            "stalls": s["stalls"],
+            "comm_wall_s": s["comm_wall_s"],
+            "comm_calls": s["comm_calls"],
+            "steps": s["steps"],
+            "staleness_overruns": s["staleness_overruns"],
+            "max_staleness_overrun": s["max_staleness_overrun"],
+            # Simulated counterparts, so repro.obs.reconcile can line the
+            # model's prediction up against this worker's measurements.
+            "sim_elapsed": s["clock_elapsed"],
+            "sim_comm": dict(s["clock_by_category"]).get("communication", 0.0),
+            "sim_compute": dict(s["clock_by_category"]).get("compute", 0.0),
+        }
+    slowest = max(clocks, key=lambda c: c.elapsed)
+    return result_cls(
+        config=cfg,
+        system=trainer.system_name,
+        history=history,
+        sim_time=slowest.elapsed,
+        compute_time=slowest.category("compute"),
+        communication_time=slowest.category("communication"),
+        comm_totals=comm_totals,
+        cache_hit_ratio=float(np.mean(hit_ratios)) if hit_ratios else 0.0,
+        final_metrics=history.points[-1].metrics if history.points else {},
+        memory_report=memory_report,
+        backend=f"mp/{schedule}",
+        wall_time_s=wall_time_s,
+        worker_wall=worker_wall,
+    )

@@ -1,0 +1,273 @@
+"""Multi-process serving: N frontend processes over one shared store.
+
+``serve-bench --backend mp`` answers the inference-side scaling question:
+how far does replicating the *frontend* (batcher + cache + scorer) go
+when every replica reads the **same** embedding tables?  The tables are
+placed in shared memory once; each frontend process attaches zero-copy,
+builds its own :class:`~repro.serving.frontend.ServingFrontend` (private
+cache, private batcher — exactly what independent serving replicas look
+like), and replays a round-robin slice of the measured query stream.
+
+Round-robin slicing (``queries[rank::n]``) keeps every slice's arrival
+process statistically identical to the full stream's — each replica sees
+the same Zipfian mix and the same arrival cadence scaled by ``1/n`` —
+which is how a load balancer spreading a stream over replicas behaves.
+
+The parent merges the per-replica outcomes into one
+:class:`~repro.serving.metrics.ServingReport`: latency percentiles are
+computed **exactly** over the concatenated per-query latencies (not
+averaged from per-replica percentiles), traffic and batch counts are
+summed, hit ratio is re-derived from summed hit/miss counters, and the
+simulated duration is the slowest replica's (they run concurrently).
+Wall-clock throughput over the whole fan-out is reported alongside.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mp.pool import process_map
+from repro.mp.shm import SharedArena
+from repro.serving.metrics import ServingReport, latency_percentile
+
+#: Cache policies a frontend replica can rebuild locally from its spec
+#: (mirrors the serve-bench ``--cache-policy`` choices).
+_CACHE_POLICIES = ("static", "lru", "lfu", "fifo", "clock", "2q", "arc", "none")
+
+
+@dataclass
+class MPServingResult:
+    """Aggregated outcome of a multi-process serve-bench run."""
+
+    report: ServingReport  #: merged cross-replica report (exact percentiles)
+    per_frontend: list[ServingReport]  #: each replica's own report
+    num_frontends: int
+    wall_time_s: float  #: real seconds for the whole fan-out
+
+    @property
+    def wall_throughput(self) -> float:
+        """Offered queries completed per *real* second across replicas."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.report.num_queries / self.wall_time_s
+
+
+def serve_mp(
+    store,
+    measured,
+    *,
+    num_frontends: int,
+    cache_policy: str = "none",
+    warmup=None,
+    capacity: int = 2,
+    max_batch: int = 32,
+    max_wait: float = 2e-3,
+    byte_scale: float = 25.0,
+    label: str | None = None,
+    start_method: str | None = None,
+) -> MPServingResult:
+    """Replay ``measured`` across ``num_frontends`` processes; merge reports.
+
+    Parameters
+    ----------
+    store:
+        A resident-backed :class:`~repro.serving.store.EmbeddingStore`
+        (tiered backings hold process-local file handles and cannot be
+        shared; the CLI rejects the combination up front).
+    measured:
+        The measured :class:`~repro.serving.queries.QueryLog` (post
+        warmup split).
+    cache_policy / warmup / capacity:
+        Each replica builds its **own** cache: ``"static"`` profiles the
+        shared ``warmup`` log, dynamic policies start cold.  Replicas do
+        not share cache state — matching real replicated frontends.
+    """
+    if cache_policy not in _CACHE_POLICIES:
+        raise ValueError(
+            f"unknown cache policy {cache_policy!r}; "
+            f"choose from {_CACHE_POLICIES}"
+        )
+    if cache_policy == "static" and warmup is None:
+        raise ValueError("cache_policy='static' needs a warmup log")
+    if num_frontends < 1:
+        raise ValueError(f"num_frontends must be >= 1, got {num_frontends}")
+    kv = store.store
+    if kv.tier is not None:
+        raise ValueError(
+            "tiered stores cannot be served across processes; "
+            "use --backing resident with --backend mp"
+        )
+
+    queries = list(measured)
+    label = label or cache_policy
+    with SharedArena() as arena:
+        for kind in ("entity", "relation"):
+            arena.create(kind, np.asarray(kv.table(kind)))
+        n = np.arange(len(kv.table("entity")), dtype=np.int64)
+        specs = [
+            {
+                "rank": rank,
+                "shm_specs": arena.specs(),
+                "entity_owner": kv.owners("entity", n),
+                "num_machines": kv.num_machines,
+                "model": store.model.name,
+                "dim": store.model.dim,
+                "queries": queries[rank::num_frontends],
+                "cache_policy": cache_policy,
+                "warmup": list(warmup) if warmup is not None else [],
+                "capacity": capacity,
+                "max_batch": max_batch,
+                "max_wait": max_wait,
+                "byte_scale": byte_scale,
+                "label": label,
+            }
+            for rank in range(num_frontends)
+        ]
+        wall0 = time.perf_counter()
+        outcomes = process_map(
+            _serve_replica, specs, jobs=num_frontends, start_method=start_method
+        )
+        wall_time_s = time.perf_counter() - wall0
+
+    reports = [o["report"] for o in outcomes]
+    merged = _merge_reports(label, outcomes)
+    return MPServingResult(
+        report=merged,
+        per_frontend=reports,
+        num_frontends=num_frontends,
+        wall_time_s=wall_time_s,
+    )
+
+
+def _serve_replica(spec: dict) -> dict:
+    """One frontend replica (module-level: pool-picklable).
+
+    Attach, serve, then detach *after* the serving stack's frame — and
+    with it every ndarray view into the segments — has died, so the
+    close never races live views (same discipline as the training
+    worker's entry point).
+    """
+    import gc
+
+    arrays = SharedArena.attach_all(spec["shm_specs"])
+    try:
+        return _replica_body(spec, arrays)
+    finally:
+        gc.collect()
+        for array in arrays.values():
+            try:
+                array.close()
+            except BufferError:
+                pass  # error path pinned a view; process exit reclaims it
+
+
+def _replica_body(spec: dict, arrays) -> dict:
+    from repro.models.base import get_model
+    from repro.ps.kvstore import ShardedKVStore
+    from repro.ps.network import NetworkModel
+    from repro.serving.batcher import QueryBatcher
+    from repro.serving.cache import ServingCache
+    from repro.serving.frontend import ServingFrontend
+    from repro.serving.store import EmbeddingStore
+
+    store = ShardedKVStore(
+        arrays["entity"].view(),
+        arrays["relation"].view(),
+        spec["entity_owner"],
+        spec["num_machines"],
+    )
+    serving = EmbeddingStore(get_model(spec["model"], spec["dim"]), store)
+
+    policy = spec["cache_policy"]
+    if policy == "none":
+        cache = None
+    elif policy == "static":
+        from repro.serving.queries import QueryLog
+
+        cache = ServingCache.from_query_log(
+            QueryLog(spec["warmup"]), spec["capacity"]
+        )
+    else:
+        cache = ServingCache.dynamic(spec["capacity"], policy=policy)
+
+    frontend = ServingFrontend(
+        serving,
+        batcher=QueryBatcher(
+            max_batch=spec["max_batch"], max_wait=spec["max_wait"]
+        ),
+        cache=cache,
+        network=NetworkModel(),
+        byte_scale=spec["byte_scale"],
+    )
+    wall0 = time.perf_counter()
+    report = frontend.run(
+        spec["queries"], label=f"{spec['label']}#{spec['rank']}"
+    )
+    wall_s = time.perf_counter() - wall0
+    from repro.serving.queries import ADMITTED
+
+    # Percentiles are computed over the admitted subset, matching
+    # aggregate_results' single-frontend convention.
+    latencies = [
+        r.latency for r in frontend.results if r.outcome == ADMITTED
+    ]
+    return {
+        "report": report,
+        "latencies": latencies,
+        "hits": cache.hits if cache is not None else 0,
+        "misses": cache.misses if cache is not None else 0,
+        "wall_s": wall_s,
+    }
+
+
+def _merge_reports(label: str, outcomes: list[dict]) -> ServingReport:
+    """Fold replica outcomes into one exact cross-replica report."""
+    from repro.ps.network import CommRecord
+
+    latencies: list[float] = []
+    comm = CommRecord()
+    hits = misses = 0
+    num_queries = num_batches = 0
+    num_admitted = num_good = 0
+    batch_size_weighted = 0.0
+    duration = compute = communication = idle = 0.0
+    for o in outcomes:
+        r: ServingReport = o["report"]
+        latencies.extend(o["latencies"])
+        comm.merge(r.comm)
+        hits += o["hits"]
+        misses += o["misses"]
+        num_queries += r.num_queries
+        num_admitted += r.num_admitted
+        num_good += r.num_good
+        num_batches += r.num_batches
+        batch_size_weighted += r.mean_batch_size * r.num_batches
+        duration = max(duration, r.duration)
+        compute = max(compute, r.compute_time)
+        communication = max(communication, r.communication_time)
+        idle = max(idle, r.idle_time)
+    lat = np.asarray(latencies, dtype=np.float64)
+    return ServingReport(
+        label=label,
+        num_queries=num_queries,
+        duration=duration,
+        latency_mean=float(lat.mean()) if len(lat) else 0.0,
+        latency_p50=latency_percentile(lat, 50),
+        latency_p95=latency_percentile(lat, 95),
+        latency_p99=latency_percentile(lat, 99),
+        latency_max=float(lat.max()) if len(lat) else 0.0,
+        hit_ratio=hits / (hits + misses) if (hits + misses) else 0.0,
+        comm=comm,
+        num_batches=num_batches,
+        mean_batch_size=(
+            batch_size_weighted / num_batches if num_batches else 0.0
+        ),
+        compute_time=compute,
+        communication_time=communication,
+        idle_time=idle,
+        num_admitted=num_admitted,
+        num_good=num_good,
+    )

@@ -1,0 +1,381 @@
+"""Child-process side of the mp training backend.
+
+Each worker process rebuilds its slice of the simulated cluster from a
+picklable :class:`WorkerSpec` — integer RNG seeds, the pickled triple
+array, and shared-memory segment names — then runs the *same*
+:meth:`repro.core.worker.Worker.step` loop the simulator runs, against the
+parent's tables:
+
+* ``schedule="sync"``: a global turn counter serializes steps in exactly
+  the simulator's round-robin order (worker 0 step 1, worker 1 step 1, …),
+  so every pull sees precisely the table state it would have seen in the
+  simulator — bit-identical losses, clocks, and traffic, at the cost of
+  zero overlap (it is the oracle, not the fast path).
+* ``schedule="async"``: hogwild.  Workers free-run; a shared progress
+  array bounds how far any worker may run ahead of the slowest
+  (``staleness_bound`` steps, defaulting to the cache's sync period ``P``
+  — the same budget the staleness-overrun counters measure), which keeps
+  effective staleness in the regime the paper's bounded-staleness
+  synchronization assumes.
+
+Wall-clock accounting: the worker's :class:`~repro.ps.server.
+ParameterServer` is wrapped in a :class:`WallClockChannel` that times real
+seconds spent inside pull/push, and every protocol wait (turn, staleness,
+barrier) is accumulated as stall time.  Both land in the final report for
+:func:`repro.obs.reconcile.reconcile` to compare against the simulated
+clock's predictions.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.telemetry import Telemetry
+from repro.core.trainer import build_worker
+from repro.kg.graph import KnowledgeGraph
+from repro.models.base import get_model
+from repro.models.losses import get_loss
+from repro.mp.shm import SharedArena
+from repro.optim import get_optimizer
+from repro.ps.compression import get_compressor
+from repro.ps.kvstore import ShardedKVStore
+from repro.ps.network import NetworkModel
+from repro.ps.server import ParameterServer
+
+#: How long a blocked protocol wait sleeps between abort checks (seconds).
+_POLL_S = 0.02
+
+#: Exit code of a deliberately crashed worker (test hook).
+CRASH_EXIT_CODE = 3
+
+
+class WorkerAborted(Exception):
+    """Raised inside a child when the run is being torn down."""
+
+
+@dataclass
+class WorkerSpec:
+    """Everything one child needs to rebuild its worker (all picklable)."""
+
+    rank: int  # index in the spawned-worker order (== sim worker order)
+    machine: int  # machine id (decides embedding locality)
+    num_workers: int
+    config: Any  # TrainingConfig (a plain dataclass)
+    triples: np.ndarray  # full training graph triples
+    num_entities: int
+    num_relations: int
+    triple_idx: np.ndarray  # this machine's partition
+    entity_owner: np.ndarray
+    neg_seed: int
+    sampler_seed: int
+    iterations: int  # steps per epoch (global max, like the simulator)
+    schedule: str  # "sync" | "async"
+    staleness_bound: int
+    shm_specs: dict[str, dict] = field(default_factory=dict)
+    collect_telemetry: bool = False
+    crash_at_step: tuple[int, int] | None = None  # (rank, step) test hook
+
+
+class MPControls:
+    """Synchronization primitives shared by parent and children.
+
+    Built from one multiprocessing context and passed to every child at
+    spawn time (all of these are picklable-by-inheritance).
+
+    The epoch handshake is deliberately barrier-free: children report via
+    ``queue`` and park on the ``gate`` (a monotone epoch counter the
+    parent raises after evaluating), so a slow parent-side evaluation
+    cannot trip a timeout, and teardown is always "set ``abort``, raise
+    the gate" — no broken-barrier states to reason about.
+    """
+
+    def __init__(self, ctx, num_workers: int) -> None:
+        self.queue = ctx.Queue()
+        self.abort = ctx.Event()
+        #: Epoch gate: children wait until ``gate >= epoch`` before the
+        #: next epoch's writes (the parent evaluates in between).  Starts
+        #: at -1; 0 releases the first epoch.
+        self.gate_cond = ctx.Condition()
+        self.gate = ctx.Value("q", -1, lock=False)
+        #: Sync schedule: the global step counter children take turns on.
+        self.turn_cond = ctx.Condition()
+        self.turn = ctx.Value("q", 0, lock=False)
+        #: Async schedule: per-worker completed-step counters.
+        self.progress = ctx.Array("q", num_workers, lock=True)
+
+
+class WallClockChannel:
+    """Times real seconds spent in PS pull/push (transparent otherwise).
+
+    Deliberately does **not** grow a ``try_pull`` attribute: the cache's
+    ``force_sync`` treats its presence as "degradable fault channel", and
+    this wrapper must not change the sync semantics it is measuring.
+    """
+
+    def __init__(self, server: ParameterServer) -> None:
+        self._mp_server = server
+        self.comm_wall_s = 0.0
+        self.comm_calls = 0
+
+    def pull(self, kind, ids, machine):
+        t0 = time.perf_counter()
+        result = self._mp_server.pull(kind, ids, machine)
+        self.comm_wall_s += time.perf_counter() - t0
+        self.comm_calls += 1
+        return result
+
+    def push(self, kind, ids, grads, machine):
+        t0 = time.perf_counter()
+        result = self._mp_server.push(kind, ids, grads, machine)
+        self.comm_wall_s += time.perf_counter() - t0
+        self.comm_calls += 1
+        return result
+
+    def __getattr__(self, name):
+        if name == "try_pull":
+            raise AttributeError(name)
+        return getattr(self._mp_server, name)
+
+
+# --------------------------------------------------------------------- waits
+
+
+def _check_alive(abort) -> None:
+    """Bail out if the run was aborted or the parent died."""
+    if abort.is_set():
+        raise WorkerAborted()
+    import multiprocessing
+
+    parent = multiprocessing.parent_process()
+    if parent is not None and not parent.is_alive():
+        raise WorkerAborted()
+
+
+def _await_gate(controls: MPControls, value: int) -> float:
+    """Block until the parent raises the epoch gate to ``value``."""
+    t0 = time.perf_counter()
+    with controls.gate_cond:
+        while controls.gate.value < value:
+            _check_alive(controls.abort)
+            controls.gate_cond.wait(_POLL_S)
+    return time.perf_counter() - t0
+
+
+def _await_turn(controls: MPControls, my_turn: int) -> float:
+    """Block until the global step counter reaches ``my_turn``."""
+    t0 = time.perf_counter()
+    with controls.turn_cond:
+        while controls.turn.value != my_turn:
+            _check_alive(controls.abort)
+            controls.turn_cond.wait(_POLL_S)
+    return time.perf_counter() - t0
+
+
+def _finish_turn(controls: MPControls) -> None:
+    with controls.turn_cond:
+        controls.turn.value += 1
+        controls.turn_cond.notify_all()
+
+
+def _await_staleness(
+    controls: MPControls, rank: int, done_steps: int, bound: int
+) -> float:
+    """Async guard: never run more than ``bound`` steps past the slowest."""
+    t0 = time.perf_counter()
+    while True:
+        with controls.progress.get_lock():
+            slowest = min(controls.progress)
+        if done_steps - slowest <= bound:
+            return time.perf_counter() - t0
+        _check_alive(controls.abort)
+        time.sleep(_POLL_S)
+
+
+# --------------------------------------------------------------------- build
+
+
+def _build(spec: WorkerSpec, arrays):
+    """Rebuild this child's world: graph, shared server, worker."""
+    cfg = spec.config
+    graph = KnowledgeGraph(
+        spec.triples,
+        num_entities=spec.num_entities,
+        num_relations=spec.num_relations,
+    )
+    store = ShardedKVStore(
+        arrays["entity"].view(),
+        arrays["relation"].view(),
+        spec.entity_owner,
+        cfg.num_machines,
+    )
+    optimizer = get_optimizer(cfg.optimizer, cfg.lr)
+    if "acc_entity" in arrays and hasattr(optimizer, "_accumulators"):
+        # Zero-copy adoption of the parent's shared AdaGrad state: shapes
+        # match the tables, so the lazy _accumulator_for reuses these.
+        optimizer._accumulators = {
+            "entity": arrays["acc_entity"].view(),
+            "relation": arrays["acc_relation"].view(),
+        }
+    server = ParameterServer(
+        store,
+        optimizer,
+        byte_scale=cfg.byte_scale,
+        compressor=get_compressor(cfg.compression),
+    )
+    channel = WallClockChannel(server)
+    model = get_model(cfg.model, cfg.dim)
+    network = NetworkModel(bandwidth=cfg.bandwidth, latency=cfg.latency)
+    worker = build_worker(
+        spec.machine,
+        graph,
+        spec.triple_idx,
+        channel,
+        model,
+        get_loss(cfg.loss, cfg.margin),
+        network,
+        cfg,
+        spec.neg_seed,
+        spec.sampler_seed,
+    )
+    return worker, channel, network
+
+
+# ---------------------------------------------------------------------- main
+
+
+def worker_main(spec: WorkerSpec, controls: MPControls) -> None:
+    """Child-process entry point (module-level: spawn-picklable)."""
+    arrays = {}
+    try:
+        arrays = SharedArena.attach_all(spec.shm_specs)
+        _run(spec, controls, arrays)
+    except WorkerAborted:
+        pass  # the parent is tearing the run down; exit quietly
+    except BaseException:
+        controls.abort.set()
+        try:
+            controls.queue.put(("error", spec.rank, traceback.format_exc()))
+        except Exception:
+            pass
+        raise
+    finally:
+        # _run's frame (and with it every ndarray view into the segments)
+        # is gone on the happy path, so the detach succeeds; on error
+        # paths the traceback may still pin views — skip the detach then
+        # and let process exit reclaim the mappings (attachers never
+        # unlink, so this cannot leak segments).
+        import gc
+
+        gc.collect()
+        for array in arrays.values():
+            try:
+                array.close()
+            except BufferError:
+                pass
+
+
+def _run(spec: WorkerSpec, controls: MPControls, arrays) -> None:
+    """Build the worker's world and run every epoch (see worker_main).
+
+    Separated from :func:`worker_main` so that, on the happy path, this
+    frame's death releases every ndarray view into the shared segments
+    before the caller detaches them.
+    """
+    worker, channel, network = _build(spec, arrays)
+    telemetry = Telemetry() if spec.collect_telemetry else None
+    if telemetry is not None:
+        worker.telemetry = telemetry
+
+    wall_start = time.perf_counter()
+    stall_s = 0.0
+    stalls = 0
+
+    worker.start()  # CPS/DPS setup + hot-table install (reads only)
+    controls.queue.put(("ready", spec.rank))
+    # Nobody writes tables until every cache installed its hot set —
+    # otherwise a late installer would snapshot rows an early starter
+    # already updated, which the simulator's serial order never does.
+    stall_s += _await_gate(controls, 0)
+
+    cfg = spec.config
+    sync = spec.schedule == "sync"
+    done_steps = 0
+    for epoch in range(cfg.epochs):
+        losses: list[float] = []
+        for it in range(spec.iterations):
+            if spec.crash_at_step is not None and spec.crash_at_step == (
+                spec.rank,
+                done_steps + 1,
+            ):
+                os._exit(CRASH_EXIT_CODE)
+            if sync:
+                global_step = epoch * spec.iterations + it
+                waited = _await_turn(
+                    controls,
+                    global_step * spec.num_workers + spec.rank,
+                )
+            else:
+                waited = _await_staleness(
+                    controls, spec.rank, done_steps, spec.staleness_bound
+                )
+            if waited > 0:
+                stall_s += waited
+                stalls += 1
+            try:
+                losses.append(worker.step())
+            finally:
+                if sync:
+                    _finish_turn(controls)
+            done_steps += 1
+            if not sync:
+                with controls.progress.get_lock():
+                    controls.progress[spec.rank] = done_steps
+
+        controls.queue.put(
+            (
+                "epoch",
+                spec.rank,
+                epoch + 1,
+                losses,
+                worker.clock.elapsed,
+            )
+        )
+        if epoch + 1 < cfg.epochs:
+            # Park while the parent evaluates over the (quiescent)
+            # shared tables; no gate needed after the final epoch —
+            # there are no further writes to fence off.
+            stall_s += _await_gate(controls, epoch + 1)
+
+    summary = {
+        "machine": spec.machine,
+        "clock_elapsed": worker.clock.elapsed,
+        "clock_by_category": dict(worker.clock.by_category),
+        "comm_totals": {
+            "local_bytes": network.totals.local_bytes,
+            "remote_bytes": network.totals.remote_bytes,
+            "local_messages": network.totals.local_messages,
+            "remote_messages": network.totals.remote_messages,
+            "retransmit_bytes": network.totals.retransmit_bytes,
+        },
+        "cache_hit_ratio": worker.cache_hit_ratio(),
+        "staleness_overruns": (
+            worker.cache.staleness_overruns if worker.cache else 0
+        ),
+        "max_staleness_overrun": (
+            worker.cache.max_staleness_overrun if worker.cache else 0
+        ),
+        "wall_s": time.perf_counter() - wall_start,
+        "stall_s": stall_s,
+        "stalls": stalls,
+        "comm_wall_s": channel.comm_wall_s,
+        "comm_calls": channel.comm_calls,
+        "steps": done_steps,
+        "telemetry": telemetry.records if telemetry is not None else [],
+    }
+    controls.queue.put(("done", spec.rank, summary))

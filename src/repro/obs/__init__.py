@@ -21,6 +21,7 @@ from repro.obs.export import (
     write_chrome_trace,
 )
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry
+from repro.obs.reconcile import ReconcileReport, WorkerReconcile, reconcile
 from repro.obs.sinks import CounterSample, InMemorySink, NullSink, SpanRecord, TraceSink
 from repro.obs.tracer import (
     NULL_SCOPE,
@@ -43,12 +44,15 @@ __all__ = [
     "NULL_SPAN",
     "NULL_TRACER",
     "NullSink",
+    "ReconcileReport",
     "Span",
     "SpanRecord",
     "TraceScope",
     "TraceSink",
     "Tracer",
+    "WorkerReconcile",
     "get_tracer",
+    "reconcile",
     "set_tracer",
     "to_chrome_trace",
     "validate_chrome_trace",

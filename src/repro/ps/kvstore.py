@@ -144,9 +144,20 @@ class ShardedKVStore:
             # growth must not rewrite the whole shard.
             table.grow(rows)
         else:
-            self._tables[kind] = np.concatenate([table, rows])
+            self._tables[kind] = self._extend_table(kind, table, rows)
         self._owners[kind] = np.concatenate([self._owners[kind], owners])
         return new_ids
+
+    def _extend_table(
+        self, kind: str, table: np.ndarray, rows: np.ndarray
+    ) -> np.ndarray:
+        """Return ``table`` with ``rows`` appended (resident backing).
+
+        Subclass hook: shared-memory stores (:class:`repro.mp.shm.
+        SharedKVStore`) grow their segment in place instead of
+        reallocating, which attached peer processes could not survive.
+        """
+        return np.concatenate([table, rows])
 
     # ------------------------------------------------------------ bookkeeping
 

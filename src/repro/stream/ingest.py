@@ -39,10 +39,14 @@ from repro.ps.network import BYTES_PER_ELEMENT, CommRecord
 from repro.stream.drift import AdaptiveStale
 from repro.stream.eval import PrequentialEvaluator, PrequentialResult
 from repro.stream.events import EventStream, GraphUpdate
-from repro.utils.rng import make_rng
+from repro.utils.rng import derive_stream
 
 #: Wire size of one (h, r, t) triple record in an ingestion message.
 TRIPLE_RECORD_BYTES = 24  # 3 x int64
+
+#: Salt for the ingestion side-stream: cold-start embedding rows must not
+#: consume draws from (or shift) the training streams.
+INGEST_STREAM_SALT = 104729
 
 
 @dataclass
@@ -103,7 +107,7 @@ class OnlineTrainer:
         self.eval_every = eval_every
         self.graph: KnowledgeGraph | None = None
         self._cursor = 0
-        self._ingest_rng = make_rng(trainer.config.seed + 104729)
+        self._ingest_rng = derive_stream(trainer.config.seed, INGEST_STREAM_SALT)
         self.evaluator = PrequentialEvaluator(
             trainer.model,
             window=eval_window,

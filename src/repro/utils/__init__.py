@@ -1,6 +1,12 @@
 """Shared utilities: seeding, simulated time, validation, table rendering."""
 
-from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.rng import (
+    derive_stream,
+    make_rng,
+    spawn_rngs,
+    split_worker_streams,
+    worker_stream,
+)
 from repro.utils.simclock import SimClock
 from repro.utils.tables import format_table
 from repro.utils.validation import (
@@ -10,8 +16,11 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "derive_stream",
     "make_rng",
     "spawn_rngs",
+    "split_worker_streams",
+    "worker_stream",
     "SimClock",
     "format_table",
     "check_fraction",

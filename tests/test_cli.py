@@ -131,3 +131,71 @@ class TestTrain:
             ]
         )
         assert rc == 1
+
+
+class TestBackendFlag:
+    def test_unknown_backend_suggests_and_exits_2(self, capsys):
+        rc = main(["train", "--backend", "mpp"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown backend 'mpp'" in err
+        assert "did you mean: mp" in err
+        assert "valid backends: sim, mp" in err
+
+    def test_mp_flags_require_mp_backend(self, capsys):
+        rc = main(["train", "--mp-schedule", "sync"])
+        assert rc == 2
+        assert "--mp-schedule" in capsys.readouterr().err
+
+        rc = main(["serve-bench", "--mp-workers", "2"])
+        assert rc == 2
+        assert "--mp-workers" in capsys.readouterr().err
+
+    def test_train_mp_rejects_faults(self, capsys):
+        rc = main(["train", "--backend", "mp", "--faults", "drop=0.1"])
+        assert rc == 2
+        assert "--faults" in capsys.readouterr().err
+
+    def test_train_mp_rejects_tiered_backing(self, capsys):
+        rc = main(["train", "--backend", "mp", "--backing", "tiered"])
+        assert rc == 2
+        assert "tiered" in capsys.readouterr().err
+
+    def test_train_mp_rejects_pbg(self, capsys):
+        rc = main(["train", "--backend", "mp", "--system", "pbg"])
+        assert rc == 2
+        assert "pbg" in capsys.readouterr().err
+
+    def test_serve_bench_mp_rejects_overload_flags(self, capsys):
+        rc = main(["serve-bench", "--backend", "mp", "--slo", "0.01"])
+        assert rc == 2
+        assert "--slo" in capsys.readouterr().err
+
+    def test_train_mp_sync_prints_reconciliation(self, capsys):
+        rc = main(
+            [
+                "train", "--dataset", "fb15k", "--scale", "0.015",
+                "--epochs", "1", "--machines", "2", "--dim", "8",
+                "--eval-queries", "2", "--backend", "mp",
+                "--mp-schedule", "sync", "--mp-start", "fork",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "clock reconciliation (mp/sync)" in out
+        assert "worker m0" in out
+
+    def test_serve_bench_mp_merges_replicas(self, capsys):
+        rc = main(
+            [
+                "serve-bench", "--dataset", "fb15k", "--scale", "0.015",
+                "--epochs", "1", "--machines", "2", "--queries", "400",
+                "--backend", "mp", "--mp-workers", "2", "--mp-start", "fork",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 frontend processes" in out
+        assert "static#0" in out
+        assert "static#1" in out
+        assert "q/s wall" in out

@@ -1,0 +1,513 @@
+"""Tests for the mp backend: shm lifecycle, sync bit-identity, crash paths.
+
+The heavyweight guarantee under test: ``train_mp(schedule="sync")`` over
+real OS processes produces a :class:`TrainResult` **bit-identical** to the
+single-process simulator — losses, SimClock categories, CommRecord
+totals, final embedding tables, optimizer accumulators, and eval metrics.
+Everything else (async smoke, crash propagation, leak-freedom, checkpoint
+round-trip) defends the machinery that guarantee rests on.
+
+Most spawns use the fork start method for speed (child setup is ~10x
+cheaper); one spawn-method smoke keeps the pickled-spec path honest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import TrainingConfig
+from repro.core.trainer import make_trainer
+from repro.kg.datasets import generate_dataset
+from repro.kg.splits import split_triples
+from repro.mp import (
+    MPUnsupportedError,
+    MPWorkerCrashed,
+    SharedArena,
+    SharedArray,
+    SharedKVStore,
+    shm_segments,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def mp_config(**overrides) -> TrainingConfig:
+    """The golden-run shape: 2 machines, 2 epochs, small tables."""
+    defaults = dict(
+        model="transe",
+        dim=8,
+        epochs=2,
+        batch_size=32,
+        num_negatives=4,
+        num_machines=2,
+        cache_capacity=64,
+        sync_period=4,
+        dps_window=8,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return TrainingConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def mp_data():
+    graph = generate_dataset("fb15k", scale=0.02, seed=3)
+    split = split_triples(graph, seed=3)
+    return graph, split
+
+
+@pytest.fixture(autouse=True)
+def no_segment_leaks():
+    """Every test must leave /dev/shm exactly as it found it."""
+    before = shm_segments()
+    yield
+    leaked = [s for s in shm_segments() if s not in before]
+    assert leaked == [], f"leaked shared-memory segments: {leaked}"
+
+
+# ----------------------------------------------------------- shm primitives
+
+
+class TestSharedArray:
+    def test_roundtrip(self):
+        data = np.arange(12, dtype=np.float64).reshape(4, 3)
+        shared = SharedArray.create(data)
+        try:
+            assert np.array_equal(shared.view(), data)
+            assert shared.rows == 4
+        finally:
+            shared.close()
+
+    def test_attach_sees_writes(self):
+        data = np.zeros((4, 3))
+        owner = SharedArray.create(data)
+        try:
+            peer = SharedArray.attach(owner.spec())
+            owner.view()[2, 1] = 7.5
+            assert peer.view()[2, 1] == 7.5
+            peer.view()[0, 0] = -1.0
+            assert owner.view()[0, 0] == -1.0
+            peer.close()
+        finally:
+            owner.close()
+
+    def test_double_close_idempotent(self):
+        shared = SharedArray.create(np.ones((2, 2)))
+        shared.close()
+        shared.close()  # must not raise
+
+    def test_attach_after_unlink_raises(self):
+        shared = SharedArray.create(np.ones((2, 2)))
+        spec = shared.spec()
+        shared.close()
+        with pytest.raises(FileNotFoundError):
+            SharedArray.attach(spec)
+
+    def test_use_after_close_rejected(self):
+        shared = SharedArray.create(np.ones((2, 2)))
+        shared.close()
+        with pytest.raises(ValueError, match="closed"):
+            shared.view()
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            SharedArray.create(np.ones(5))
+
+    def test_grow_within_capacity(self):
+        shared = SharedArray.create(np.ones((2, 3)), capacity_rows=5)
+        try:
+            view = shared.grow(np.full((2, 3), 2.0))
+            assert shared.rows == 4
+            assert view.shape == (4, 3)
+            assert np.array_equal(view[2:], np.full((2, 3), 2.0))
+        finally:
+            shared.close()
+
+    def test_grow_visible_to_peer(self):
+        owner = SharedArray.create(np.ones((2, 3)), capacity_rows=4)
+        try:
+            peer = SharedArray.attach(owner.spec())
+            assert peer.rows == 2
+            owner.grow(np.zeros((1, 3)))
+            assert peer.rows == 3
+            assert peer.view().shape == (3, 3)
+            peer.close()
+        finally:
+            owner.close()
+
+    def test_grow_over_capacity_rejected(self):
+        shared = SharedArray.create(np.ones((2, 3)), capacity_rows=3)
+        try:
+            with pytest.raises(ValueError, match="capacity"):
+                shared.grow(np.zeros((2, 3)))
+        finally:
+            shared.close()
+
+    def test_capacity_below_rows_rejected(self):
+        with pytest.raises(ValueError, match="capacity_rows"):
+            SharedArray.create(np.ones((4, 2)), capacity_rows=2)
+
+
+class TestSharedArena:
+    def test_context_manager_unlinks(self):
+        before = shm_segments()
+        with SharedArena() as arena:
+            arena.create("a", np.ones((2, 2)))
+            arena.create("b", np.zeros((3, 1)))
+            assert len(shm_segments()) == len(before) + 2
+        assert shm_segments() == before
+
+    def test_unlinks_on_exception(self):
+        before = shm_segments()
+        with pytest.raises(RuntimeError):
+            with SharedArena() as arena:
+                arena.create("a", np.ones((2, 2)))
+                raise RuntimeError("boom")
+        assert shm_segments() == before
+
+    def test_duplicate_key_rejected(self):
+        with SharedArena() as arena:
+            arena.create("a", np.ones((2, 2)))
+            with pytest.raises(KeyError):
+                arena.create("a", np.ones((2, 2)))
+
+    def test_finalizer_cleanup_without_close(self):
+        before = shm_segments()
+        arena = SharedArena()
+        arena.create("a", np.ones((2, 2)))
+        del arena  # finalizer must unlink
+        import gc
+
+        gc.collect()
+        assert shm_segments() == before
+
+
+class TestSharedKVStore:
+    def test_from_store_grow_matches_resident(self):
+        from repro.ps.kvstore import ShardedKVStore
+
+        rng = np.random.default_rng(0)
+        entity = rng.normal(size=(6, 4))
+        relation = rng.normal(size=(2, 4))
+        owner = np.array([0, 1, 0, 1, 0, 1])
+        resident = ShardedKVStore(entity.copy(), relation.copy(), owner, 2)
+        with SharedArena() as arena:
+            shared = SharedKVStore.from_store(
+                ShardedKVStore(entity.copy(), relation.copy(), owner, 2),
+                arena,
+                headroom_rows=4,
+            )
+            rows = rng.normal(size=(2, 4))
+            resident.grow("entity", rows, np.array([0, 1]))
+            shared.grow("entity", rows, np.array([0, 1]))
+            assert np.array_equal(
+                resident.table("entity"), shared.table("entity")
+            )
+            assert np.array_equal(
+                resident.owners("entity", np.arange(8)),
+                shared.owners("entity", np.arange(8)),
+            )
+
+    def test_grow_over_headroom_rejected(self):
+        from repro.ps.kvstore import ShardedKVStore
+
+        entity = np.ones((4, 2))
+        relation = np.ones((2, 2))
+        owner = np.array([0, 1, 0, 1])
+        with SharedArena() as arena:
+            shared = SharedKVStore.from_store(
+                ShardedKVStore(entity, relation, owner, 2), arena
+            )
+            with pytest.raises(ValueError, match="capacity"):
+                shared.grow("entity", np.ones((1, 2)), np.array([0]))
+
+    def test_tiered_store_rejected(self):
+        from repro.ps.kvstore import ShardedKVStore
+        from repro.tier import TierConfig
+
+        store = ShardedKVStore(
+            np.ones((4, 2)),
+            np.ones((2, 2)),
+            np.array([0, 1, 0, 1]),
+            2,
+            backing="tiered",
+            tier=TierConfig(),
+        )
+        with SharedArena() as arena:
+            with pytest.raises(ValueError, match="tiered"):
+                SharedKVStore.from_store(store, arena)
+
+
+# ------------------------------------------------------- sync bit-identity
+
+
+def _fingerprint(trainer, result):
+    acc = getattr(trainer.server.optimizer, "_accumulators", {})
+    return {
+        "losses": [float(p.loss).hex() for p in result.history.points],
+        "sim_time": float(result.sim_time).hex(),
+        "compute_time": float(result.compute_time).hex(),
+        "communication_time": float(result.communication_time).hex(),
+        "comm": (
+            result.comm_totals.local_bytes,
+            result.comm_totals.remote_bytes,
+            result.comm_totals.local_messages,
+            result.comm_totals.remote_messages,
+            result.comm_totals.retransmit_bytes,
+        ),
+        "hit_ratio": float(result.cache_hit_ratio).hex(),
+        "metrics": [p.metrics for p in result.history.points],
+        "entity": trainer.server.store.table("entity").copy(),
+        "relation": trainer.server.store.table("relation").copy(),
+        "acc": {k: np.array(v, copy=True) for k, v in acc.items()},
+    }
+
+
+def _assert_identical(ref, got):
+    assert got["losses"] == ref["losses"]
+    assert got["sim_time"] == ref["sim_time"]
+    assert got["compute_time"] == ref["compute_time"]
+    assert got["communication_time"] == ref["communication_time"]
+    assert got["comm"] == ref["comm"]
+    assert got["hit_ratio"] == ref["hit_ratio"]
+    assert got["metrics"] == ref["metrics"]
+    assert np.array_equal(got["entity"], ref["entity"])
+    assert np.array_equal(got["relation"], ref["relation"])
+    assert set(got["acc"]) == set(ref["acc"])
+    for kind in ref["acc"]:
+        assert np.array_equal(got["acc"][kind], ref["acc"][kind])
+
+
+class TestSyncBitIdentity:
+    @pytest.mark.parametrize("system", ["hetkg-d", "hetkg-c", "dglke"])
+    def test_identical_to_simulator(self, system, mp_data):
+        graph, split = mp_data
+        sim = make_trainer(system, mp_config())
+        r_sim = sim.train(
+            split.train,
+            eval_graph=split.test,
+            filter_set=graph.triple_set(),
+            eval_max_queries=30,
+            eval_candidates=40,
+        )
+        mp = make_trainer(system, mp_config())
+        r_mp = mp.train_mp(
+            split.train,
+            eval_graph=split.test,
+            filter_set=graph.triple_set(),
+            eval_max_queries=30,
+            eval_candidates=40,
+            schedule="sync",
+            start_method="fork",
+        )
+        assert r_mp.backend == "mp/sync"
+        assert r_mp.wall_time_s > 0
+        _assert_identical(_fingerprint(sim, r_sim), _fingerprint(mp, r_mp))
+
+    def test_spawn_start_method(self, mp_data):
+        # One spawn-method run keeps the pickled-spec path honest (fork
+        # inherits module state that spawn must reconstruct).
+        graph, split = mp_data
+        sim = make_trainer("hetkg-d", mp_config(epochs=1))
+        r_sim = sim.train(split.train)
+        mp = make_trainer("hetkg-d", mp_config(epochs=1))
+        r_mp = mp.train_mp(
+            split.train, schedule="sync", start_method="spawn"
+        )
+        _assert_identical(_fingerprint(sim, r_sim), _fingerprint(mp, r_mp))
+
+    def test_telemetry_merge_matches_simulator(self, mp_data):
+        from repro.core.telemetry import Telemetry
+
+        _, split = mp_data
+        sim = make_trainer("hetkg-d", mp_config(epochs=1))
+        t_sim = Telemetry()
+        sim.train(split.train, telemetry=t_sim)
+        mp = make_trainer("hetkg-d", mp_config(epochs=1))
+        t_mp = Telemetry()
+        mp.train_mp(
+            split.train,
+            telemetry=t_mp,
+            schedule="sync",
+            start_method="fork",
+        )
+        assert len(t_mp.records) == len(t_sim.records)
+        for a, b in zip(t_sim.records, t_mp.records):
+            assert (a.worker, a.iteration, a.loss) == (
+                b.worker,
+                b.iteration,
+                b.loss,
+            )
+
+
+# ----------------------------------------------------------- async schedule
+
+
+class TestAsyncSchedule:
+    def test_smoke(self, mp_data):
+        _, split = mp_data
+        trainer = make_trainer("hetkg-d", mp_config())
+        result = trainer.train_mp(
+            split.train, schedule="async", start_method="fork"
+        )
+        assert result.backend == "mp/async"
+        assert result.wall_time_s > 0
+        assert len(result.history.points) == 2
+        assert all(np.isfinite(p.loss) for p in result.history.points)
+        assert len(result.worker_wall) == 2
+        for span in result.worker_wall.values():
+            assert span["steps"] > 0
+            assert span["wall_s"] > 0
+
+    def test_staleness_bound_validated(self, mp_data):
+        _, split = mp_data
+        trainer = make_trainer("hetkg-d", mp_config())
+        with pytest.raises(MPUnsupportedError, match="staleness"):
+            trainer.train_mp(split.train, schedule="async", staleness_bound=0)
+
+    def test_unknown_schedule_rejected(self, mp_data):
+        _, split = mp_data
+        trainer = make_trainer("hetkg-d", mp_config())
+        with pytest.raises(MPUnsupportedError, match="schedule"):
+            trainer.train_mp(split.train, schedule="bulk")
+
+    def test_tiered_backing_rejected(self, mp_data):
+        _, split = mp_data
+        trainer = make_trainer(
+            "hetkg-d", mp_config(backing="tiered", memory_budget="1M")
+        )
+        with pytest.raises(MPUnsupportedError, match="tiered"):
+            trainer.train_mp(split.train)
+
+
+# --------------------------------------------------------- crash propagation
+
+
+class TestCrashPropagation:
+    def test_child_crash_raises_and_leaves_no_segments(self, mp_data):
+        _, split = mp_data
+        trainer = make_trainer("hetkg-d", mp_config(epochs=1))
+        with pytest.raises(MPWorkerCrashed, match="worker 1"):
+            trainer.train_mp(
+                split.train,
+                schedule="async",
+                start_method="fork",
+                crash_at_step=(1, 5),
+            )
+        # The autouse fixture asserts no /dev/shm residue; additionally
+        # the trainer's tables must be private (not dangling shm views).
+        trainer.server.store.table("entity")[0, 0] += 1.0  # must not raise
+
+
+# ----------------------------------------------------- checkpoint round-trip
+
+
+class TestCheckpointRoundTrip:
+    def test_mp_checkpoint_resumes_in_sim(self, tmp_path, mp_data):
+        """Embeddings trained under mp save/load like simulator state."""
+        from repro.core.checkpoint import load_checkpoint, save_checkpoint
+
+        _, split = mp_data
+        mp = make_trainer("hetkg-d", mp_config(epochs=1))
+        mp.train_mp(split.train, schedule="sync", start_method="fork")
+        path = tmp_path / "mp.npz"
+        save_checkpoint(mp, path)
+
+        sim = make_trainer("hetkg-d", mp_config(epochs=1))
+        sim.setup(split.train)
+        load_checkpoint(sim, path)
+        assert np.array_equal(
+            sim.server.store.table("entity"), mp.server.store.table("entity")
+        )
+        assert np.array_equal(
+            sim.server.store.table("relation"),
+            mp.server.store.table("relation"),
+        )
+
+
+# ------------------------------------------------------------- mp serving
+
+
+class TestServeMP:
+    def test_replicas_cover_stream_exactly(self, mp_data):
+        from repro.experiments.serving_study import split_warmup
+        from repro.mp.serve import serve_mp
+        from repro.serving.store import EmbeddingStore
+        from repro.serving.workload import WorkloadSpec, ZipfianWorkload
+
+        graph, split = mp_data
+        trainer = make_trainer("hetkg-d", mp_config(epochs=1))
+        trainer.train(split.train)
+        store = EmbeddingStore.from_trainer(trainer)
+        spec = WorkloadSpec(num_queries=400, seed=11)
+        workload = ZipfianWorkload.from_graph(graph, spec)
+        warmup, measured = split_warmup(workload.generate())
+
+        result = serve_mp(
+            store,
+            measured,
+            num_frontends=2,
+            cache_policy="static",
+            warmup=warmup,
+            capacity=32,
+            start_method="fork",
+        )
+        assert result.num_frontends == 2
+        assert result.report.num_queries == len(measured)
+        assert sum(r.num_queries for r in result.per_frontend) == len(measured)
+        assert result.wall_time_s > 0
+        assert result.wall_throughput > 0
+        assert 0.0 <= result.report.hit_ratio <= 1.0
+        assert result.report.latency_p50 <= result.report.latency_p99
+
+    def test_bad_policy_rejected(self, mp_data):
+        from repro.experiments.serving_study import split_warmup
+        from repro.mp.serve import serve_mp
+        from repro.serving.store import EmbeddingStore
+        from repro.serving.workload import WorkloadSpec, ZipfianWorkload
+
+        graph, split = mp_data
+        trainer = make_trainer("hetkg-d", mp_config(epochs=1))
+        trainer.train(split.train)
+        store = EmbeddingStore.from_trainer(trainer)
+        spec = WorkloadSpec(num_queries=40, seed=11)
+        workload = ZipfianWorkload.from_graph(graph, spec)
+        _, measured = split_warmup(workload.generate())
+        with pytest.raises(ValueError, match="policy"):
+            serve_mp(store, measured, num_frontends=1, cache_policy="mru")
+
+
+# ------------------------------------------------------------- reconcile
+
+
+class TestReconcile:
+    def test_mp_report_fields(self, mp_data):
+        from repro.obs import reconcile
+
+        _, split = mp_data
+        trainer = make_trainer("hetkg-d", mp_config(epochs=1))
+        result = trainer.train_mp(
+            split.train, schedule="sync", start_method="fork"
+        )
+        report = reconcile(result)
+        assert report.backend == "mp/sync"
+        assert len(report.workers) == 2
+        for w in report.workers:
+            assert w.wall_s > 0
+            assert 0.0 <= w.predicted_comm_fraction <= 1.0
+            assert 0.0 <= w.measured_comm_fraction <= 1.0
+        text = report.to_text()
+        assert "clock reconciliation" in text
+        assert "worker m0" in text
+        assert "worker m1" in text
+
+    def test_sim_result_reconciles_without_workers(self, mp_data):
+        from repro.obs import reconcile
+
+        _, split = mp_data
+        trainer = make_trainer("hetkg-d", mp_config(epochs=1))
+        result = trainer.train(split.train)
+        report = reconcile(result)
+        assert report.workers == ()
+        assert "simulator backend" in report.to_text()

@@ -53,3 +53,110 @@ class TestSpawnRngs:
     def test_negative_count_rejected(self):
         with pytest.raises(ValueError, match="non-negative"):
             spawn_rngs(make_rng(0), -1)
+
+
+class TestSplitWorkerStreams:
+    def test_integer_seeds(self):
+        from repro.utils.rng import split_worker_streams
+
+        seeds = split_worker_streams(make_rng(0), 4)
+        assert len(seeds) == 4
+        assert all(isinstance(s, int) for s in seeds)
+
+    def test_deterministic(self):
+        from repro.utils.rng import split_worker_streams
+
+        assert split_worker_streams(make_rng(7), 6) == split_worker_streams(
+            make_rng(7), 6
+        )
+
+    def test_matches_spawn_rngs_streams(self):
+        # spawn_rngs must be exactly "seed each stream from the split" —
+        # the mp backend ships the integer seeds to child processes and
+        # the simulator consumes the generators, and both must agree.
+        from repro.utils.rng import split_worker_streams
+
+        seeds = split_worker_streams(make_rng(3), 4)
+        gens = spawn_rngs(make_rng(3), 4)
+        for seed, gen in zip(seeds, gens):
+            expect = np.random.default_rng(seed).integers(0, 10**9, size=8)
+            assert np.array_equal(gen.integers(0, 10**9, size=8), expect)
+
+    def test_zero_count(self):
+        from repro.utils.rng import split_worker_streams
+
+        assert split_worker_streams(make_rng(0), 0) == []
+
+    def test_negative_count_rejected(self):
+        from repro.utils.rng import split_worker_streams
+
+        with pytest.raises(ValueError, match="non-negative"):
+            split_worker_streams(make_rng(0), -2)
+
+    def test_prefix_stability_property(self):
+        # Drawing k streams is a prefix of drawing k+m streams from the
+        # same parent state: growing the worker count must not reshuffle
+        # the seeds existing workers get.
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.utils.rng import split_worker_streams
+
+        @settings(max_examples=25, deadline=None)
+        @given(
+            seed=st.integers(0, 2**31 - 1),
+            k=st.integers(1, 8),
+            extra=st.integers(0, 8),
+        )
+        def check(seed, k, extra):
+            small = split_worker_streams(make_rng(seed), k)
+            large = split_worker_streams(make_rng(seed), k + extra)
+            assert large[:k] == small
+
+        check()
+
+    def test_distinct_seeds_property(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.utils.rng import split_worker_streams
+
+        @settings(max_examples=25, deadline=None)
+        @given(seed=st.integers(0, 2**31 - 1), count=st.integers(2, 16))
+        def check(seed, count):
+            seeds = split_worker_streams(make_rng(seed), count)
+            assert len(set(seeds)) == count
+
+        check()
+
+
+class TestWorkerStream:
+    def test_deterministic_per_machine(self):
+        from repro.utils.rng import worker_stream
+
+        a = worker_stream(5, 2).integers(0, 10**9, size=8)
+        b = worker_stream(5, 2).integers(0, 10**9, size=8)
+        assert np.array_equal(a, b)
+
+    def test_machines_diverge(self):
+        from repro.utils.rng import worker_stream
+
+        a = worker_stream(5, 0).integers(0, 10**9, size=8)
+        b = worker_stream(5, 1).integers(0, 10**9, size=8)
+        assert not np.array_equal(a, b)
+
+
+class TestDeriveStream:
+    def test_salted_offset(self):
+        from repro.utils.rng import derive_stream
+
+        a = derive_stream(3, 100)
+        b = make_rng(103)
+        assert a.integers(0, 10**9) == b.integers(0, 10**9)
+
+    def test_salts_diverge(self):
+        from repro.utils.rng import derive_stream
+
+        a = derive_stream(3, 1).integers(0, 10**9, size=8)
+        b = derive_stream(3, 2).integers(0, 10**9, size=8)
+        assert not np.array_equal(a, b)
