@@ -1,0 +1,16 @@
+"""Bench: uniform vs self-adversarial vs cached negative sampling."""
+
+from repro.experiments.negative_sampling import run_negative_sampling
+
+
+def test_negative_sampling(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_negative_sampling(scale=0.05, epochs=6),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    scored = {(row[0], row[1]): row[4] for row in result.rows}
+    for model in ("transe", "distmult", "rotate"):
+        assert scored[(model, "nscaching")] < scored[(model, "uniform")]
+        assert scored[(model, "auto")] < scored[(model, "uniform")]

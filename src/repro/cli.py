@@ -34,6 +34,36 @@ def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
 #: so a typo gets a did-you-mean instead of argparse's terse choices dump).
 BACKENDS = ("sim", "mp")
 
+#: Hard-negative cache modes ``--neg-cache`` accepts (same hand-rolled
+#: validation: typos get a did-you-mean and exit code 2).
+NEG_CACHE_CHOICES = ("off", "nscaching", "auto")
+
+
+def _add_neg_cache_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--neg-cache",
+        default=None,
+        metavar="MODE",
+        help="hard-negative cache: off (default), nscaching (per-key "
+        "hard-negative caches with hotness-ordered refreshes), or auto "
+        "(annealed exploration->exploitation; see docs/sampling.md)",
+    )
+
+
+def _validate_neg_cache(args: argparse.Namespace) -> int | None:
+    """Validate --neg-cache; return an exit code to fail fast, or None."""
+    mode = getattr(args, "neg_cache", None)
+    if mode is None or mode in NEG_CACHE_CHOICES:
+        return None
+    import difflib
+
+    close = difflib.get_close_matches(mode, NEG_CACHE_CHOICES, n=2, cutoff=0.4)
+    print(f"unknown --neg-cache mode {mode!r}", file=sys.stderr)
+    if close:
+        print("did you mean: " + ", ".join(close), file=sys.stderr)
+    print("valid modes: " + ", ".join(NEG_CACHE_CHOICES), file=sys.stderr)
+    return 2
+
 
 def _add_backend_flags(
     parser: argparse.ArgumentParser, serving: bool = False
@@ -233,6 +263,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fault spec forwarded to runners that support chaos "
         "(currently 'fault-tolerance'), e.g. 'drop=0.1,crash=w1@20'",
     )
+    _add_neg_cache_flag(run)
     _add_trace_flag(run)
 
     report = sub.add_parser(
@@ -282,6 +313,7 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--lr", type=float, default=0.1)
     train.add_argument("--batch-size", type=int, default=128)
     train.add_argument("--negatives", type=int, default=16)
+    _add_neg_cache_flag(train)
     train.add_argument("--cache-capacity", type=int, default=1024)
     train.add_argument("--sync-period", type=int, default=8)
     train.add_argument("--seed", type=int, default=0)
@@ -453,6 +485,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="prequential-evaluation cadence in steps",
     )
     stream.add_argument("--seed", type=int, default=0)
+    _add_neg_cache_flag(stream)
     _add_trace_flag(stream)
 
     sweep = sub.add_parser(
@@ -483,7 +516,7 @@ def _runner_kwargs(runner, args: argparse.Namespace) -> dict:
     """Only pass overrides the runner's signature accepts."""
     accepted = inspect.signature(runner).parameters
     kwargs = {}
-    for name in ("scale", "epochs", "seed", "faults", "jobs"):
+    for name in ("scale", "epochs", "seed", "faults", "jobs", "neg_cache"):
         value = getattr(args, name, None)
         if value is not None and name in accepted:
             kwargs[name] = value
@@ -502,6 +535,17 @@ def _train(args: argparse.Namespace) -> int:
     status = _validate_backend(args)
     if status is not None:
         return status
+    status = _validate_neg_cache(args)
+    if status is not None:
+        return status
+    if args.neg_cache not in (None, "off") and args.system.lower() == "pbg":
+        # PBG's block trainer has its own corruption loop that never goes
+        # through the NegativeSampler seam the cache plugs into.
+        print(
+            "--neg-cache is not supported for the PBG baseline",
+            file=sys.stderr,
+        )
+        return 2
     use_mp = args.backend == "mp"
     if use_mp:
         # Fail fast on combinations the mp backend does not carry: the
@@ -547,6 +591,7 @@ def _train(args: argparse.Namespace) -> int:
         lr=args.lr,
         batch_size=args.batch_size,
         num_negatives=args.negatives,
+        neg_cache=args.neg_cache or "off",
         cache_capacity=args.cache_capacity,
         sync_period=args.sync_period,
         backing=args.backing,
@@ -624,6 +669,16 @@ def _train(args: argparse.Namespace) -> int:
             k: v for k, v in result.fault_stats.items() if v
         }
         print(f"fault stats: {interesting or 'no faults fired'}")
+    if result.neg_cache_stats:
+        stats = result.neg_cache_stats
+        print(
+            f"neg cache: {stats.get('refreshes', 0)} refreshes over "
+            f"{stats.get('refreshed_keys', 0)} keys, "
+            f"{stats.get('candidates_scored', 0)} candidates scored, "
+            f"{stats.get('hard_negatives_served', 0)} hard negatives "
+            f"served, {stats.get('refresh_bytes', 0) / 1e6:.1f} MB refresh "
+            f"traffic, {stats.get('neg_cache_time', 0.0):.3f}s simulated"
+        )
     if args.checkpoint is not None:
         if args.system.lower() == "pbg":
             print("checkpointing is not supported for the PBG baseline")
@@ -959,6 +1014,9 @@ def _stream(args: argparse.Namespace) -> int:
     if args.system.lower() == "pbg":
         print("the PBG block baseline has no PS cache path to stream into")
         return 2
+    status = _validate_neg_cache(args)
+    if status is not None:
+        return status
 
     graph = generate_dataset(args.dataset, scale=args.scale)
     config = TrainingConfig(
@@ -966,6 +1024,7 @@ def _stream(args: argparse.Namespace) -> int:
         epochs=args.epochs,
         num_machines=args.machines,
         cache_capacity=args.cache_capacity,
+        neg_cache=args.neg_cache or "off",
         seed=args.seed,
     )
     steps = args.epochs * math.ceil(graph.num_triples / config.batch_size)
@@ -1020,6 +1079,15 @@ def _stream(args: argparse.Namespace) -> int:
         f"+{result.entities_added} entities, +{result.relations_added} "
         f"relations, {result.cache_rows_invalidated} cache rows invalidated"
     )
+    if result.neg_cache_stats:
+        stats = result.neg_cache_stats
+        print(
+            f"neg cache: {stats.get('refreshes', 0)} refreshes, "
+            f"{stats.get('candidates_scored', 0)} candidates scored, "
+            f"{stats.get('refresh_bytes', 0) / 1e6:.1f} MB refresh traffic, "
+            f"{result.neg_cache_keys_invalidated} keys invalidated by "
+            "stream deletes"
+        )
     print(f"(wall time: {time.time() - start:.1f}s)")
     return 0
 
@@ -1110,6 +1178,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "sweep":
         return _sweep(args)
 
+    status = _validate_neg_cache(args)
+    if status is not None:
+        return status
     names = list_experiments() if args.experiment == "all" else [args.experiment]
     runners = []
     for name in names:

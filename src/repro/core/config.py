@@ -40,6 +40,25 @@ class TrainingConfig:
     filter_false_negatives: resample corruptions that hit true triples.
     epochs: training epochs.
 
+    Hard-negative cache (repro.sampling.cache, NSCaching-style)
+    -----------------------------------------------------------
+    neg_cache: ``"off"`` (plain uniform corruption, the default —
+        bit-identical to the pre-cache trainer), ``"nscaching"`` (warm
+        keys draw all negatives from their hard-negative cache), or
+        ``"auto"`` (the cache-draw probability anneals from exploration
+        to exploitation over ``neg_cache_anneal`` batches).
+    neg_cache_size: hard negatives cached per (entity, relation,
+        direction) key (NSCaching's ``N1``).
+    neg_cache_pool: fresh uniform candidates scored per key refresh
+        (``N2``; the scored pool is cache ∪ pool).
+    neg_cache_refresh: worker steps between refresh events.
+    neg_cache_keys: hottest pending keys refreshed per event (the
+        hotness-aware refresh budget).
+    neg_cache_temperature: Gumbel top-k temperature over candidate
+        scores (lower = closer to exact top-k).
+    neg_cache_anneal: ``"auto"`` mode's exploration->exploitation ramp
+        length in batches.
+
     Cluster
     -------
     num_machines: simulated machines (1 worker + 1 server shard each).
@@ -113,6 +132,15 @@ class TrainingConfig:
     filter_false_negatives: bool = False
     epochs: int = 5
 
+    # hard-negative cache (repro.sampling.cache)
+    neg_cache: str = "off"
+    neg_cache_size: int = 8
+    neg_cache_pool: int = 16
+    neg_cache_refresh: int = 4
+    neg_cache_keys: int = 64
+    neg_cache_temperature: float = 0.5
+    neg_cache_anneal: int = 256
+
     # cluster
     num_machines: int = 4
     partitioner: str = "metis"
@@ -159,6 +187,13 @@ class TrainingConfig:
         check_in(
             "negative_strategy", self.negative_strategy, ("chunked", "independent")
         )
+        check_in("neg_cache", self.neg_cache, ("off", "nscaching", "auto"))
+        check_positive("neg_cache_size", self.neg_cache_size)
+        check_positive("neg_cache_pool", self.neg_cache_pool)
+        check_positive("neg_cache_refresh", self.neg_cache_refresh)
+        check_positive("neg_cache_keys", self.neg_cache_keys)
+        check_positive("neg_cache_temperature", self.neg_cache_temperature)
+        check_positive("neg_cache_anneal", self.neg_cache_anneal)
         check_in("partitioner", self.partitioner, ("metis", "random"))
         check_in(
             "cache_strategy",
@@ -220,3 +255,7 @@ class TrainingConfig:
     @property
     def uses_cache(self) -> bool:
         return self.cache_strategy != "none"
+
+    @property
+    def uses_neg_cache(self) -> bool:
+        return self.neg_cache != "off"

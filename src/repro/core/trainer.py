@@ -40,6 +40,7 @@ from repro.ps.compression import get_compressor
 from repro.ps.kvstore import ShardedKVStore
 from repro.ps.network import CommRecord, ComputeModel, NetworkModel
 from repro.ps.server import ParameterServer
+from repro.sampling.cache import CachedNegativeSampler
 from repro.sampling.minibatch import EpochSampler
 from repro.sampling.negative import NegativeSampler
 from repro.utils.rng import make_rng, split_worker_streams
@@ -95,7 +96,7 @@ def build_worker(
     """
     cfg = config
     subgraph = train_graph.subgraph(triple_idx)
-    neg = NegativeSampler(
+    neg_kwargs = dict(
         num_entities=train_graph.num_entities,
         num_negatives=cfg.num_negatives,
         strategy=cfg.negative_strategy,
@@ -103,6 +104,22 @@ def build_worker(
         filter_graph=train_graph if cfg.filter_false_negatives else None,
         seed=neg_seed,
     )
+    if cfg.neg_cache != "off":
+        # The cached sampler's side stream derives from the same integer
+        # neg_seed, so mp children rebuild the identical cache behaviour
+        # (this function is their construction path too).
+        neg = CachedNegativeSampler(
+            **neg_kwargs,
+            mode=cfg.neg_cache,
+            cache_size=cfg.neg_cache_size,
+            pool_size=cfg.neg_cache_pool,
+            refresh_period=cfg.neg_cache_refresh,
+            refresh_keys=cfg.neg_cache_keys,
+            temperature=cfg.neg_cache_temperature,
+            anneal_steps=cfg.neg_cache_anneal,
+        )
+    else:
+        neg = NegativeSampler(**neg_kwargs)
     sampler = EpochSampler(subgraph, cfg.batch_size, neg, seed=sampler_seed)
     compute = ComputeModel(
         throughput=cfg.compute_throughput * cfg.speed_of(machine)
@@ -178,6 +195,20 @@ class TrainResult:
     #: "stall_s": ..., "stalls": ...}}`` where stalls are time spent blocked
     #: on the sync-schedule turn protocol or the async staleness bound.
     worker_wall: dict = field(default_factory=dict)
+    #: Corruptions that exhausted their false-negative resample retries and
+    #: trained on a true triple anyway (0 unless filter_false_negatives hit
+    #: a dense neighbourhood; summed over workers for this train() call).
+    false_negative_leaks: int = 0
+    #: Candidate triples scored across all workers this run (training
+    #: forward passes + hard-negative refresh scoring) — the efficiency
+    #: axis of the negative-sampling experiment.
+    scored_candidates: int = 0
+    #: Hard-negative cache accounting when ``config.neg_cache != "off"``
+    #: (see :mod:`repro.sampling.cache`): refresh counters summed over
+    #: workers plus ``refresh_bytes``/``refresh_messages`` (the pulls the
+    #: refreshes paid for) and ``neg_cache_time`` (the slowest machine's
+    #: ``"neg_cache"`` clock category).  Empty when the cache is off.
+    neg_cache_stats: dict = field(default_factory=dict)
 
     @property
     def communication_fraction(self) -> float:
@@ -414,6 +445,15 @@ class HETKGTrainer:
         # with a previous run's totals.
         comm_base = self.network.totals.copy()
         clock_base = [w.clock.copy() for w in self.workers]
+        leak_base = [
+            w.sampler.negative_sampler.false_negative_leaks for w in self.workers
+        ]
+        scored_base = [w.scored_candidates for w in self.workers]
+        neg_comm_base = [w.neg_cache_comm.copy() for w in self.workers]
+        neg_counter_base = [
+            w.neg_cache.counters() if w.neg_cache is not None else {}
+            for w in self.workers
+        ]
         tier = self.server.store.tier
         tier_base = tier.clock.elapsed if tier is not None else 0.0
         wall_start = time.perf_counter()
@@ -481,6 +521,31 @@ class HETKGTrainer:
         memory_report = self.server.store.memory_report()
         if telemetry is not None:
             telemetry.record_memory(memory_report)
+        neg_cache_stats: dict = {}
+        if any(w.neg_cache is not None for w in self.workers):
+            refresh_comm = CommRecord()
+            counter_totals: dict[str, int] = {}
+            cache_keys = 0
+            for w, comm_b, counter_b in zip(
+                self.workers, neg_comm_base, neg_counter_base
+            ):
+                if w.neg_cache is None:
+                    continue
+                refresh_comm.merge(w.neg_cache_comm.difference(comm_b))
+                cache_keys += w.neg_cache.num_keys
+                for key, value in w.neg_cache.counters().items():
+                    counter_totals[key] = (
+                        counter_totals.get(key, 0) + value - counter_b.get(key, 0)
+                    )
+            neg_cache_stats = {
+                **counter_totals,
+                "cache_keys": cache_keys,
+                "refresh_bytes": refresh_comm.total_bytes,
+                "refresh_remote_bytes": refresh_comm.remote_bytes,
+                "refresh_messages": refresh_comm.total_messages,
+                "neg_cache_time": slowest.clock.category("neg_cache")
+                - base.category("neg_cache"),
+            }
         return TrainResult(
             config=cfg,
             system=self.system_name,
@@ -497,6 +562,15 @@ class HETKGTrainer:
             tier_time=(tier.clock.elapsed - tier_base) if tier is not None else 0.0,
             memory_report=memory_report,
             wall_time_s=time.perf_counter() - wall_start,
+            false_negative_leaks=sum(
+                w.sampler.negative_sampler.false_negative_leaks - b
+                for w, b in zip(self.workers, leak_base)
+            ),
+            scored_candidates=sum(
+                w.scored_candidates - b
+                for w, b in zip(self.workers, scored_base)
+            ),
+            neg_cache_stats=neg_cache_stats,
         )
 
     # ----------------------------------------------------------------- train_mp

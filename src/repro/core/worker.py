@@ -28,6 +28,7 @@ from repro.models.base import KGEModel
 from repro.models.losses import Loss
 from repro.ps.network import CommRecord, ComputeModel, NetworkModel
 from repro.ps.server import ParameterServer
+from repro.sampling.cache import CachedNegativeSampler
 from repro.sampling.minibatch import EpochSampler
 from repro.utils.simclock import SimClock
 
@@ -85,6 +86,19 @@ class Worker:
         self.cache = cache
         self.cost_dim = cost_dim if cost_dim is not None else model.dim
         self.telemetry = telemetry
+        # Hard-negative cache plumbing (see repro.sampling.cache): when the
+        # epoch sampler wraps a CachedNegativeSampler, this worker drives
+        # its hotness-ordered refreshes and charges the scoring traffic to
+        # the "neg_cache" clock category.  All None/zero when neg_cache=off,
+        # so the disabled path is bit-identical to the pre-cache worker.
+        neg = getattr(sampler, "negative_sampler", None)
+        self.neg_cache = neg if isinstance(neg, CachedNegativeSampler) else None
+        self.neg_cache_comm = CommRecord()
+        #: Candidate triples scored on this worker (training forward passes
+        #: plus neg-cache refresh scoring) — the experiment's "scored
+        #: candidates" efficiency axis.
+        self.scored_candidates = 0
+        self._leaks_seen = 0
         self.clock = SimClock()
         #: Observability scope for this worker's phase spans (bound by the
         #: trainer when tracing is on; the null scope costs nothing).
@@ -187,6 +201,14 @@ class Worker:
             with self.trace.span("sample", "compute"):
                 batch = self.sampler.next_batch()
 
+        # 2b. lazy hard-negative cache refresh (NSCaching's index step):
+        # every refresh_period steps, score the hottest touched keys'
+        # candidate pools against the live model.  Traffic and flops are
+        # charged under the dedicated "neg_cache" category — the cache has
+        # to pay for its refresh scoring on the same books as everyone.
+        if self.neg_cache is not None and self.neg_cache.refresh_due(step_index):
+            self._refresh_neg_cache()
+
         # 3. fetch embedding rows.
         with self.trace.span("fetch", "communication") as span:
             ent_ids = batch.unique_entities()
@@ -213,6 +235,7 @@ class Worker:
                     self.machine, step_index
                 )
             self.clock.advance(batch_time, "compute")
+            self.scored_candidates += grads.num_scores
             span.set(scores=grads.num_scores)
 
         # 5. local cache update + push everything to the PS.
@@ -238,6 +261,11 @@ class Worker:
         self.trace.count("worker.steps")
         if self._step_comm is not None and self._step_comm.remote_bytes:
             self.trace.count("worker.remote_bytes", self._step_comm.remote_bytes)
+        leaks = self.sampler.negative_sampler.false_negative_leaks
+        if leaks > self._leaks_seen:
+            if self.telemetry is not None:
+                self.telemetry.bump("false_negative_leaks", leaks - self._leaks_seen)
+            self._leaks_seen = leaks
         if self.telemetry is not None:
             if self.cache is not None:
                 stats = self.cache.combined_stats()
@@ -259,6 +287,55 @@ class Worker:
             )
         self._step_comm = None
         return grads.loss
+
+    # -------------------------------------------------------------- neg cache
+
+    def _refresh_neg_cache(self) -> None:
+        """Run one hard-negative cache refresh (see repro.sampling.cache).
+
+        Pulls the candidate/anchor rows through whatever server channel is
+        installed (direct PS, fault channel, or the mp wall-clock channel),
+        charges the pull traffic and the forward-only scoring flops to the
+        ``"neg_cache"`` clock category, and lets the sampler rewrite the
+        due caches from the scores.
+        """
+        assert self.neg_cache is not None
+        plan = self.neg_cache.plan_refresh()
+        if plan is None:
+            return
+        with self.trace.span("neg_refresh", "neg_cache") as span:
+            ent_rows, comm_e = self.server.pull(
+                "entity", plan.entity_ids, self.machine
+            )
+            rel_rows, comm_r = self.server.pull(
+                "relation", plan.relation_ids, self.machine
+            )
+            self._charge_neg_comm(comm_e)
+            self._charge_neg_comm(comm_r)
+            scored = self.neg_cache.complete_refresh(
+                plan, self.model, ent_rows, rel_rows
+            )
+            self.clock.advance(
+                self.compute.batch_time(scored, self.cost_dim, backward=False),
+                "neg_cache",
+            )
+            self.scored_candidates += scored
+            span.set(
+                bytes=comm_e.total_bytes + comm_r.total_bytes,
+                keys=len(plan.keys),
+                scores=scored,
+            )
+        self.trace.count("worker.neg_refreshes")
+        if self.telemetry is not None:
+            self.telemetry.bump("neg_cache_refreshes")
+            self.telemetry.bump("neg_cache_candidates_scored", scored)
+
+    def _charge_neg_comm(self, comm: CommRecord) -> None:
+        """Account refresh traffic once, under the ``neg_cache`` category."""
+        self.neg_cache_comm.merge(comm)
+        if self._step_comm is not None:
+            self._step_comm.merge(comm)
+        self.clock.advance(self.network.charge(comm), "neg_cache")
 
     # --------------------------------------------------------------- recovery
 

@@ -1,0 +1,204 @@
+"""Negative-sampling study: uniform vs self-adversarial vs cached.
+
+NSCaching's bet (arXiv:1812.06410, the sampler-side analogue of HET-KG's
+hot embedding cache) is that a small per-key cache of hard negatives
+carries most of the gradient signal, so a cached sampler with *few*
+negatives per positive can match uniform corruption with *many* — while
+paying only a bounded, hotness-ordered refresh bill.  This experiment
+races four arms across model kernels on one dataset:
+
+* **uniform** — ranking loss, 16 uniform corruptions per positive;
+* **self-adv** — RotatE's self-adversarial loss, same uniform negatives
+  (the softmax-weighting alternative that needs no cache state);
+* **nscaching** — ranking loss, 4 negatives per positive drawn from the
+  hard-negative cache (``neg_cache="nscaching"``);
+* **auto** — the auto-balanced variant (``neg_cache="auto"``) annealing
+  from exploration to exploitation.
+
+Every arm trains the same schedule (same batches, same steps) on
+HET-KG-D, so "scored candidates" — training forward passes plus the
+cached arms' refresh scoring, all counted by
+``TrainResult.scored_candidates`` — is directly comparable.  The series
+section emits the MRR-vs-scored-candidates frontier per arm.
+
+Asserted shape (with a default-scale run): both cached arms score
+strictly fewer candidates than uniform, their refresh traffic is visible
+as a nonzero ``"neg_cache"`` clock/CommRecord category, and (at >= 4
+epochs, where convergence is meaningful) the best cached arm's mean MRR
+across models reaches the uniform arm's.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    base_config,
+    dataset_bundle,
+    run_system,
+)
+from repro.experiments.parallel import parallel_map
+
+#: Model kernels raced (a spread of geometries: translation, bilinear,
+#: rotation — every kernel in repro.models accepts the same knobs).
+NEG_MODELS = ("transe", "distmult", "rotate")
+
+#: Sampler arms: label -> TrainingConfig overrides.
+NEG_ARMS: dict[str, dict] = {
+    "uniform": dict(num_negatives=16),
+    "self-adv": dict(num_negatives=16, loss="self-adversarial"),
+    "nscaching": dict(
+        num_negatives=4,
+        neg_cache="nscaching",
+        neg_cache_size=8,
+        neg_cache_pool=16,
+        neg_cache_refresh=4,
+        neg_cache_keys=48,
+    ),
+    "auto": dict(
+        num_negatives=4,
+        neg_cache="auto",
+        neg_cache_size=8,
+        neg_cache_pool=16,
+        neg_cache_refresh=4,
+        neg_cache_keys=48,
+        neg_cache_anneal=128,
+    ),
+}
+
+#: System hosting every arm (the flagship cached trainer, so refresh
+#: traffic rides the same PS/network books as the embedding cache's).
+NEG_SYSTEM = "hetkg-d"
+
+
+def _run_cell(task: tuple[str, str, float, int, int]):
+    """One (model, arm) training run (module-level: picklable)."""
+    model, arm, scale, epochs, seed = task
+    bundle = dataset_bundle("fb15k", scale=scale, seed=seed)
+    config = base_config(
+        model=model, epochs=epochs, seed=seed, **NEG_ARMS[arm]
+    )
+    result = run_system(NEG_SYSTEM, config, bundle)
+    return model, arm, result
+
+
+def run_negative_sampling(
+    scale: float = 0.05,
+    epochs: int = 6,
+    seed: int = 0,
+    jobs: int = 1,
+    neg_cache: str | None = None,
+) -> ExperimentResult:
+    """MRR-vs-scored-candidates frontier of the four sampler arms.
+
+    ``neg_cache`` (the CLI ``--neg-cache`` passthrough) restricts the
+    cached arms to one mode (``"nscaching"`` or ``"auto"``); ``"off"``
+    drops both cached arms, leaving the uniform/self-adversarial race.
+    ``jobs`` runs the (model x arm) grid on worker processes; the report
+    is byte-identical to ``jobs=1``.
+    """
+    arms = list(NEG_ARMS)
+    if neg_cache == "off":
+        arms = [a for a in arms if a not in ("nscaching", "auto")]
+    elif neg_cache in ("nscaching", "auto"):
+        arms = [a for a in arms if a in ("uniform", "self-adv", neg_cache)]
+    tasks = [
+        (model, arm, scale, epochs, seed)
+        for model in NEG_MODELS
+        for arm in arms
+    ]
+    outcomes = parallel_map(_run_cell, tasks, jobs=jobs)
+
+    rows = []
+    mrr: dict[tuple[str, str], float] = {}
+    scored: dict[tuple[str, str], int] = {}
+    series: dict[str, list[tuple[float, float]]] = {}
+    neg_time_total = 0.0
+    refresh_bytes_total = 0
+    for model, arm, result in outcomes:
+        stats = result.neg_cache_stats
+        mrr[(model, arm)] = result.final_metrics.get("mrr", 0.0)
+        scored[(model, arm)] = result.scored_candidates
+        neg_time_total += stats.get("neg_cache_time", 0.0)
+        refresh_bytes_total += stats.get("refresh_bytes", 0)
+        rows.append(
+            [
+                model,
+                arm,
+                result.final_metrics.get("mrr", 0.0),
+                result.final_metrics.get("hits@10", 0.0),
+                result.scored_candidates / 1e6,
+                stats.get("hard_negatives_served", 0) / 1e3,
+                stats.get("refresh_bytes", 0) / 1e6,
+                stats.get("neg_cache_time", 0.0),
+                result.sim_time,
+            ]
+        )
+        series.setdefault(f"mrr-vs-scored/{arm}", []).append(
+            (result.scored_candidates / 1e6, mrr[(model, arm)])
+        )
+
+    def mean_over_models(arm: str, table: dict) -> float:
+        return sum(table[(m, arm)] for m in NEG_MODELS) / len(NEG_MODELS)
+
+    cached_arms = [a for a in arms if a in ("nscaching", "auto")]
+    notes: list[str] = []
+    if cached_arms:
+        # Structural invariants: the cache must actually run, pay for its
+        # refreshes on the books, and still need fewer scored candidates
+        # per step than uniform corruption (same step count per arm).
+        assert neg_time_total > 0.0, "cached arms charged no neg_cache time"
+        assert refresh_bytes_total > 0, "cached arms moved no refresh bytes"
+        for arm in cached_arms:
+            for model in NEG_MODELS:
+                assert scored[(model, arm)] < scored[(model, "uniform")], (
+                    f"{arm}/{model} scored {scored[(model, arm)]} candidates, "
+                    f"not fewer than uniform's {scored[(model, 'uniform')]}"
+                )
+        uniform_mrr = mean_over_models("uniform", mrr)
+        best_arm = max(cached_arms, key=lambda a: mean_over_models(a, mrr))
+        best_mrr = mean_over_models(best_arm, mrr)
+        ratio = sum(scored[(m, best_arm)] for m in NEG_MODELS) / sum(
+            scored[(m, "uniform")] for m in NEG_MODELS
+        )
+        if epochs >= 4:
+            # Convergence claims only make sense past the warm-up regime
+            # (CI smoke cells run 1-2 epochs at tiny scale).
+            assert best_mrr >= uniform_mrr, (
+                f"expected a cached arm to reach uniform's mean MRR: best "
+                f"cached ({best_arm}) {best_mrr:.4f} < uniform {uniform_mrr:.4f}"
+            )
+        notes.append(
+            f"best cached arm ({best_arm}) mean MRR {best_mrr:.4f} vs "
+            f"uniform {uniform_mrr:.4f} at {ratio:.2f}x the scored "
+            f"candidates (hard negatives carry the gradient signal)"
+        )
+        notes.append(
+            f"refresh bill across cached cells: {refresh_bytes_total / 1e6:.1f} "
+            f"MB pulled, {neg_time_total:.3f}s simulated under the "
+            f"'neg_cache' category — the cache pays rent on the same books "
+            "as the embedding cache"
+        )
+    else:
+        notes.append("cached arms disabled (neg_cache=off passthrough)")
+
+    return ExperimentResult(
+        experiment_id="negative-sampling",
+        title=(
+            "Negative sampling: uniform vs self-adversarial vs "
+            "hotness-cached (NSCaching-style)"
+        ),
+        headers=[
+            "model",
+            "sampler",
+            "MRR",
+            "Hits@10",
+            "scored (M)",
+            "hard served (K)",
+            "refresh MB",
+            "neg time (s)",
+            "sim time (s)",
+        ],
+        rows=rows,
+        notes="; ".join(notes),
+        series=series,
+    )

@@ -273,5 +273,18 @@ PAPER_REFERENCES: dict[str, PaperReference] = {
             "holds the post-swap hit ratio within 10% of the pre-swap "
             "window while the naive invalidate-only swap shows the cliff",
         ),
+        PaperReference(
+            "negative-sampling",
+            "(extension beyond the paper)",
+            "n/a — the paper corrupts uniformly within chunks; this applies "
+            "its hotness-aware caching idea to the sampler itself "
+            "(NSCaching-style per-key hard-negative caches with "
+            "hotness-ordered refreshes charged to the simulated network).",
+            "cached arms score strictly fewer candidates than 16-negative "
+            "uniform corruption yet the best cached arm's mean MRR across "
+            "kernels reaches uniform's; refresh traffic shows up as a "
+            "nonzero 'neg_cache' clock/comm category; with neg_cache=off "
+            "the trainer is bit-identical to the pre-cache goldens",
+        ),
     ]
 }

@@ -27,6 +27,7 @@ from repro.experiments.efficiency import run_fig5, run_fig6, run_fig7
 from repro.experiments.fault_tolerance import run_fault_tolerance
 from repro.experiments.memory_tiering import run_memory_tiering
 from repro.experiments.microbench import run_fig2, run_table1, run_table2
+from repro.experiments.negative_sampling import run_negative_sampling
 from repro.experiments.serving_scale import run_serving_scale
 from repro.experiments.serving_study import run_serving_batcher, run_serving_cache
 from repro.experiments.streaming_drift import run_streaming_drift
@@ -61,6 +62,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "streaming-drift": run_streaming_drift,
     "memory-tiering": run_memory_tiering,
     "cache-shootout": run_cache_shootout,
+    "negative-sampling": run_negative_sampling,
 }
 
 

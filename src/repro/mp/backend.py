@@ -216,6 +216,10 @@ def run_mp_training(
         if telemetry is not None:
             for rank in range(num_workers):
                 telemetry_records.extend(summaries[rank]["telemetry"])
+                for name, value in summaries[rank].get(
+                    "telemetry_counters", {}
+                ).items():
+                    telemetry.bump(name, value)
             # Restore the simulator's global step order (cumulative
             # per-worker iteration, then worker position).
             telemetry_records.sort(
@@ -382,11 +386,20 @@ def _assemble_result(
     comm_totals = CommRecord()
     hit_ratios = []
     worker_wall: dict[int, dict] = {}
+    leaks = 0
+    scored = 0
+    neg_counters: dict[str, int] = {}
+    neg_comm = CommRecord()
     for rank in range(num_workers):
         s = summaries[rank]
         clocks.append(SimClock(s["clock_elapsed"], dict(s["clock_by_category"])))
         comm_totals.merge(CommRecord(**s["comm_totals"]))
         hit_ratios.append(s["cache_hit_ratio"])
+        leaks += s.get("false_negative_leaks", 0)
+        scored += s.get("scored_candidates", 0)
+        for name, value in s.get("neg_cache", {}).items():
+            neg_counters[name] = neg_counters.get(name, 0) + value
+        neg_comm.merge(CommRecord(**s.get("neg_cache_comm", {})))
         worker_wall[s["machine"]] = {
             "wall_s": s["wall_s"],
             "stall_s": s["stall_s"],
@@ -403,6 +416,15 @@ def _assemble_result(
             "sim_compute": dict(s["clock_by_category"]).get("compute", 0.0),
         }
     slowest = max(clocks, key=lambda c: c.elapsed)
+    neg_cache_stats: dict = {}
+    if neg_counters:
+        neg_cache_stats = {
+            **neg_counters,
+            "refresh_bytes": neg_comm.total_bytes,
+            "refresh_remote_bytes": neg_comm.remote_bytes,
+            "refresh_messages": neg_comm.total_messages,
+            "neg_cache_time": slowest.category("neg_cache"),
+        }
     return result_cls(
         config=cfg,
         system=trainer.system_name,
@@ -417,4 +439,7 @@ def _assemble_result(
         backend=f"mp/{schedule}",
         wall_time_s=wall_time_s,
         worker_wall=worker_wall,
+        false_negative_leaks=leaks,
+        scored_candidates=scored,
+        neg_cache_stats=neg_cache_stats,
     )

@@ -377,5 +377,27 @@ def _run(spec: WorkerSpec, controls: MPControls, arrays) -> None:
         "comm_calls": channel.comm_calls,
         "steps": done_steps,
         "telemetry": telemetry.records if telemetry is not None else [],
+        "telemetry_counters": (
+            dict(telemetry.counters) if telemetry is not None else {}
+        ),
+        "false_negative_leaks": (
+            worker.sampler.negative_sampler.false_negative_leaks
+        ),
+        "scored_candidates": worker.scored_candidates,
+        "neg_cache": (
+            {
+                **worker.neg_cache.counters(),
+                "cache_keys": worker.neg_cache.num_keys,
+            }
+            if worker.neg_cache is not None
+            else {}
+        ),
+        "neg_cache_comm": {
+            "local_bytes": worker.neg_cache_comm.local_bytes,
+            "remote_bytes": worker.neg_cache_comm.remote_bytes,
+            "local_messages": worker.neg_cache_comm.local_messages,
+            "remote_messages": worker.neg_cache_comm.remote_messages,
+            "retransmit_bytes": worker.neg_cache_comm.retransmit_bytes,
+        },
     }
     controls.queue.put(("done", spec.rank, summary))

@@ -2,5 +2,17 @@
 
 from repro.sampling.negative import NegativeSampler, MiniBatch
 from repro.sampling.minibatch import EpochSampler
+from repro.sampling.cache import (
+    NEG_CACHE_MODES,
+    CachedNegativeSampler,
+    RefreshPlan,
+)
 
-__all__ = ["NegativeSampler", "MiniBatch", "EpochSampler"]
+__all__ = [
+    "NegativeSampler",
+    "MiniBatch",
+    "EpochSampler",
+    "CachedNegativeSampler",
+    "RefreshPlan",
+    "NEG_CACHE_MODES",
+]

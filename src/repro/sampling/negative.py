@@ -132,6 +132,12 @@ class NegativeSampler:
                 raise ValueError("entity_pool must not be empty")
         self.entity_pool = entity_pool
         self._rng = make_rng(seed)
+        #: Corruptions that exhausted their false-negative resample retries
+        #: and stayed a true triple (monotone; see
+        #: :meth:`_resample_false_negatives`).  Surfaced by trainers as
+        #: ``TrainResult.false_negative_leaks`` and the ``Telemetry``
+        #: ``false_negative_leaks`` counter.
+        self.false_negative_leaks = 0
 
     def _draw_entities(self, size) -> np.ndarray:
         """Uniform corrupting entities from the pool or the full range."""
@@ -189,6 +195,14 @@ class NegativeSampler:
                 f"corruption pool can only grow: {self.num_entities} -> "
                 f"{num_entities}"
             )
+        if num_entities > self.num_entities and self.entity_pool is not None:
+            raise ValueError(
+                f"resize({num_entities}) conflicts with the restricted "
+                f"entity_pool ({len(self.entity_pool)} ids): _draw_entities "
+                "only samples the pool, so the grown ids would silently "
+                "never be drawn — rebuild the sampler with a grown pool "
+                "(or entity_pool=None) instead"
+            )
         self.num_entities = num_entities
         if filter_graph is not None:
             self._filter = filter_graph.triple_set()
@@ -231,4 +245,10 @@ class NegativeSampler:
                 e = int(self._draw_entities(1)[0])
                 candidate = (e, r, t) if head else (h, r, e)
                 attempts += 1
+            if candidate in self._filter:
+                # Retries exhausted on a dense filter neighbourhood: the
+                # false negative stays in the batch (resampling forever
+                # could spin on fully-connected anchors).  Count the leak
+                # so trainers can surface it instead of hiding it.
+                self.false_negative_leaks += 1
             batch.neg_entities[i, j] = e

@@ -36,6 +36,7 @@ import numpy as np
 from repro.core.trainer import HETKGTrainer
 from repro.kg.graph import HEAD, REL, TAIL, KnowledgeGraph, TripleIndex
 from repro.ps.network import BYTES_PER_ELEMENT, CommRecord
+from repro.sampling.cache import CachedNegativeSampler
 from repro.stream.drift import AdaptiveStale
 from repro.stream.eval import PrequentialEvaluator, PrequentialResult
 from repro.stream.events import EventStream, GraphUpdate
@@ -69,6 +70,13 @@ class OnlineTrainResult:
     entities_added: int = 0
     relations_added: int = 0
     cache_rows_invalidated: int = 0
+    #: Hard-negative cache keys dropped because their anchor entity or
+    #: relation lost graph structure to deletions (0 with neg_cache=off).
+    neg_cache_keys_invalidated: int = 0
+    #: Merged hard-negative cache counters + refresh traffic across
+    #: workers (empty dict with neg_cache=off) — same shape as
+    #: :attr:`repro.core.trainer.TrainResult.neg_cache_stats`.
+    neg_cache_stats: dict = field(default_factory=dict)
     adaptive_rebuilds: int = 0
     extra: dict[str, float] = field(default_factory=dict)
 
@@ -122,6 +130,7 @@ class OnlineTrainer:
         self.entities_added = 0
         self.relations_added = 0
         self.cache_rows_invalidated = 0
+        self.neg_cache_keys_invalidated = 0
 
     # -------------------------------------------------------------- ingestion
 
@@ -246,6 +255,17 @@ class OnlineTrainer:
                         worker.strategy.drop_ids(
                             affected_entities, affected_relations
                         )
+                # Hard negatives scored against deleted structure: drop the
+                # affected keys (and purge deleted ids from survivors).
+                neg_sampler = worker.sampler.negative_sampler
+                if isinstance(neg_sampler, CachedNegativeSampler) and (
+                    len(affected_entities) or len(affected_relations)
+                ):
+                    self.neg_cache_keys_invalidated += (
+                        neg_sampler.invalidate_ids(
+                            affected_entities, affected_relations
+                        )
+                    )
                 # Delivery traffic: the update's triple records reach this
                 # machine from outside the cluster.
                 record_count = len(local_inserts) + deleted_here
@@ -340,6 +360,24 @@ class OnlineTrainer:
             for w in workers
             if isinstance(w.strategy, AdaptiveStale)
         )
+        neg_cache_stats: dict = {}
+        if any(w.neg_cache is not None for w in workers):
+            refresh_comm = CommRecord()
+            for w in workers:
+                if w.neg_cache is None:
+                    continue
+                for name, value in w.neg_cache.counters().items():
+                    neg_cache_stats[name] = neg_cache_stats.get(name, 0) + value
+                neg_cache_stats["cache_keys"] = (
+                    neg_cache_stats.get("cache_keys", 0) + w.neg_cache.num_keys
+                )
+                refresh_comm.merge(w.neg_cache_comm)
+            neg_cache_stats["refresh_bytes"] = refresh_comm.total_bytes
+            neg_cache_stats["refresh_remote_bytes"] = refresh_comm.remote_bytes
+            neg_cache_stats["refresh_messages"] = refresh_comm.total_messages
+            neg_cache_stats["neg_cache_time"] = slowest.clock.category(
+                "neg_cache"
+            ) - base.category("neg_cache")
         return OnlineTrainResult(
             system=trainer.system_name,
             steps=total_steps,
@@ -360,6 +398,8 @@ class OnlineTrainer:
             entities_added=self.entities_added,
             relations_added=self.relations_added,
             cache_rows_invalidated=self.cache_rows_invalidated,
+            neg_cache_keys_invalidated=self.neg_cache_keys_invalidated,
+            neg_cache_stats=neg_cache_stats,
             adaptive_rebuilds=rebuilds,
         )
 

@@ -94,6 +94,78 @@ class TestNegativeSampler:
         with pytest.raises(ValueError):
             NegativeSampler(10, strategy="nope")
 
+    def test_resize_growth_with_entity_pool_rejected(self):
+        """Growing a pool-restricted sampler would mint ids the pool can
+        never draw — that must be a loud error, not a silent no-op."""
+        sampler = NegativeSampler(10, entity_pool=np.array([1, 2, 3]))
+        with pytest.raises(ValueError, match="entity_pool"):
+            sampler.resize(20)
+        # Same-size resizes stay legal (streaming replays them freely).
+        sampler.resize(10)
+
+    def test_false_negative_leaks_counted_on_dense_filter(self):
+        """On a complete graph every corruption collides, so retry
+        exhaustion must leak — and every leak must be counted."""
+        triples = np.array(
+            [(h, 0, t) for h in range(3) for t in range(3)], dtype=np.int64
+        )
+        from repro.kg.graph import KnowledgeGraph
+
+        dense = KnowledgeGraph(triples, num_entities=3, num_relations=1)
+        sampler = NegativeSampler(
+            3, num_negatives=4, filter_graph=dense, seed=0
+        )
+        assert sampler.false_negative_leaks == 0
+        batch = sampler.corrupt(triples)
+        assert sampler.false_negative_leaks == batch.size * batch.num_negatives
+
+    def test_sparse_filter_leaks_nothing(self, small_graph):
+        sampler = NegativeSampler(
+            small_graph.num_entities, 4, filter_graph=small_graph, seed=0
+        )
+        sampler.corrupt(small_graph.triples[:64])
+        assert sampler.false_negative_leaks == 0
+
+
+class TestChunkedDeterminism:
+    """Satellite golden: the chunked strategy's draw sequence is pinned."""
+
+    _POSITIVES = np.array(
+        [[0, 0, 1], [1, 0, 2], [2, 1, 3], [3, 0, 4], [4, 1, 5], [5, 0, 0]],
+        dtype=np.int64,
+    )
+
+    def test_identical_batches_across_runs(self):
+        a = NegativeSampler(10, 4, "chunked", chunk_size=4, seed=9)
+        b = NegativeSampler(10, 4, "chunked", chunk_size=4, seed=9)
+        for _ in range(3):
+            x, y = a.corrupt(self._POSITIVES), b.corrupt(self._POSITIVES)
+            assert np.array_equal(x.neg_entities, y.neg_entities)
+            assert np.array_equal(x.corrupt_head, y.corrupt_head)
+
+    def test_pinned_draw_sequence(self):
+        """Literal golden: catches any silent reordering of RNG draws."""
+        batch = NegativeSampler(10, 4, "chunked", chunk_size=4, seed=123).corrupt(
+            self._POSITIVES
+        )
+        assert batch.neg_entities.tolist() == [
+            [0, 6, 5, 0],
+            [0, 6, 5, 0],
+            [0, 6, 5, 0],
+            [0, 6, 5, 0],
+            [2, 1, 3, 1],
+            [2, 1, 3, 1],
+        ]
+        assert batch.corrupt_head.tolist() == [
+            True, True, True, True, False, False,
+        ]
+
+    def test_chunk_size_at_least_batch_degenerates_to_one_chunk(self):
+        sampler = NegativeSampler(10, 4, "chunked", chunk_size=16, seed=9)
+        batch = sampler.corrupt(self._POSITIVES)
+        for i in range(1, batch.size):
+            assert np.array_equal(batch.neg_entities[0], batch.neg_entities[i])
+
 
 class TestMiniBatch:
     @pytest.fixture
